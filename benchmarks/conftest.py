@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper via the
+drivers in :mod:`repro.harness`, times the regeneration with
+pytest-benchmark, asserts the qualitative shape the paper reports and
+prints the rendered table (run pytest with ``-s`` to see them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Subset of kernels used by the quicker benchmarks to keep wall time low.
+FAST_NAMES = ("bzip2", "h264ref", "soplex", "vp8", "dcraw", "ffmpeg")
+
+#: Scale factor applied to the SPEC-like corpus in Section 7 benchmarks.
+CORPUS_SCALE = 0.25
+
+
+@pytest.fixture(scope="session")
+def fast_names():
+    return FAST_NAMES
+
+
+@pytest.fixture(scope="session")
+def corpus_scale():
+    return CORPUS_SCALE

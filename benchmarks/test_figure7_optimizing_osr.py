@@ -1,0 +1,20 @@
+"""Figure 7 — breakdown of feasible f_base → f_opt (optimizing) OSR points."""
+
+from repro.harness import figure7_optimizing_osr, render_rows
+from repro.workloads import BENCHMARK_NAMES
+
+
+def test_figure7_optimizing_osr(benchmark):
+    rows = benchmark(figure7_optimizing_osr, BENCHMARK_NAMES)
+    print("\n" + render_rows(rows, "Figure 7 — feasible fbase→fopt OSR points (%)"))
+    assert len(rows) == len(BENCHMARK_NAMES)
+    for row in rows:
+        # Cumulative stacking as in the paper's bars.
+        assert 0 <= row["empty_pct"] <= row["live_pct"] <= row["avail_pct"] <= 100
+    # Paper shape: empty-compensation points are a minority overall, and
+    # live-only reconstruction already covers the majority of points for
+    # most benchmarks.
+    avg_empty = sum(r["empty_pct"] for r in rows) / len(rows)
+    assert avg_empty < 50
+    majority_live = sum(1 for r in rows if r["live_pct"] >= 50)
+    assert majority_live >= len(rows) // 2

@@ -1,0 +1,15 @@
+"""Figure 9 — global average recoverability ratio of endangered variables."""
+
+from repro.harness import figure9_recoverability, render_rows
+
+
+def test_figure9_recoverability(benchmark, corpus_scale):
+    rows = benchmark(figure9_recoverability, corpus_scale)
+    print("\n" + render_rows(rows, "Figure 9 — recoverability ratio (live vs avail)"))
+    assert rows
+    for row in rows:
+        # Paper shape: avail is never worse than live, and both are ratios.
+        assert 0.0 <= row["live_ratio"] <= row["avail_ratio"] <= 1.0
+    # avail recovers a substantial fraction of endangered variables overall.
+    avg_avail = sum(r["avail_ratio"] for r in rows) / len(rows)
+    assert avg_avail >= 0.3

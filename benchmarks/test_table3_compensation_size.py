@@ -1,0 +1,18 @@
+"""Table 3 — size of the generated compensation code and of the keep sets."""
+
+from repro.harness import render_rows, table3_compensation_size
+from repro.workloads import BENCHMARK_NAMES
+
+
+def test_table3_compensation_size(benchmark):
+    rows = benchmark(table3_compensation_size, BENCHMARK_NAMES)
+    print("\n" + render_rows(rows, "Table 3 — compensation code size |c| and |K_avail|"))
+    assert len(rows) == len(BENCHMARK_NAMES)
+    # Paper shape: deoptimizing compensation code is much smaller than
+    # optimizing compensation code on average, and keep sets stay small.
+    fwd_avg = sum(r["fwd_avail_avg"] for r in rows) / len(rows)
+    bwd_avg = sum(r["bwd_avail_avg"] for r in rows) / len(rows)
+    assert bwd_avg <= fwd_avg
+    for row in rows:
+        assert row["fwd_keep_max"] <= 20
+        assert row["bwd_keep_max"] <= 20

@@ -1,0 +1,20 @@
+"""Table 4 — endangered functions and endangered user variables (SPEC-like corpus)."""
+
+from repro.harness import render_rows, table4_endangered_functions
+
+
+def test_table4_endangered_functions(benchmark, corpus_scale):
+    rows = benchmark(table4_endangered_functions, corpus_scale)
+    print("\n" + render_rows(rows, "Table 4 — endangered functions (synthetic SPEC corpus)"))
+    assert rows, "the corpus produced no benchmarks"
+    for row in rows:
+        # Structural sanity: endangered ⊆ optimized ⊆ total.
+        assert row["F_end"] <= row["F_opt"] <= row["F_tot"]
+        # Paper shape: ~1-2 endangered user variables per affected point.
+        if row["F_end"]:
+            assert 1.0 <= row["vars_avg"] <= 6.0
+            assert 0.0 <= row["avg_u"] <= 1.0
+    # Optimization endangers a strict subset of functions overall.
+    total_opt = sum(r["F_opt"] for r in rows)
+    total_end = sum(r["F_end"] for r in rows)
+    assert 0 < total_end <= total_opt

@@ -1,0 +1,13 @@
+"""Table 5 — values to be preserved (keep sets) for the avail strategy."""
+
+from repro.harness import render_rows, table5_keep_sets
+
+
+def test_table5_keep_sets(benchmark, corpus_scale):
+    rows = benchmark(table5_keep_sets, corpus_scale)
+    print("\n" + render_rows(rows, "Table 5 — keep-set sizes for the avail strategy"))
+    assert rows
+    for row in rows:
+        assert 0.0 <= row["frac_needing_keep"] <= 1.0
+        # Paper shape: when values must be preserved, only a few are needed.
+        assert row["keep_avg"] <= 12.0

@@ -1,0 +1,52 @@
+"""Adaptive optimization: a two-tier VM using OSR for tier-up and deoptimization.
+
+This is the scenario OSR was invented for.  The AdaptiveRuntime starts
+every function in the unoptimized tier, counts calls, and when a function
+gets hot it compiles an optimized version with the OSR-aware pipeline and
+transfers the *currently running* loop onto it (an optimizing OSR).  A
+deoptimizing OSR transfers execution back — the mechanism a speculative
+optimizer uses when an assumption is invalidated.
+
+Run with:  python examples/adaptive_jit.py
+"""
+
+from repro.ir import run_function
+from repro.vm import AdaptiveRuntime
+from repro.workloads import benchmark_arguments, benchmark_function
+
+
+def main() -> None:
+    runtime = AdaptiveRuntime(hotness_threshold=3)
+    kernel = benchmark_function("perlbench")
+    runtime.register(kernel)
+    args, memory = benchmark_arguments("perlbench", size=48)
+    expected = run_function(kernel, args, memory=memory.copy()).value
+
+    print("calling the perlbench kernel repeatedly...")
+    for call_index in range(1, 6):
+        result = runtime.call("perlbench", args, memory=memory.copy())
+        stats = runtime.stats("perlbench")
+        tier = "optimized" if stats["compiled"] else "base"
+        print(
+            f"  call {call_index}: result={result.value} tier={tier} "
+            f"(osr entries so far: {stats['osr_entries']})"
+        )
+        assert result.value == expected
+
+    print("\ntransition events observed by the runtime:")
+    for function_name, kind, point in runtime.events:
+        print(f"  {function_name}: {kind} at {point}")
+
+    # Deoptimization: abandon the optimized code mid-flight and finish in
+    # the unoptimized tier (e.g. because a speculative guard failed).
+    state = runtime.functions["perlbench"]
+    assert state.backward_mapping is not None
+    deopt_point = state.backward_mapping.domain()[len(state.backward_mapping.domain()) // 2]
+    result = runtime.deoptimize_at("perlbench", deopt_point, args, memory=memory.copy())
+    print(f"\ndeoptimizing OSR at {deopt_point}: result={result.value}")
+    assert result.value == expected
+    print("result preserved across tier-down — speculation can be undone safely.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Quickstart: make a transformation OSR-aware and hop between versions.
+
+This walks the core API end to end:
+
+1. compile a small MiniC function to its unoptimized SSA form (f_base);
+2. optimize a clone with the OSR-aware pass pipeline, recording primitive
+   actions in a CodeMapper;
+3. build forward (f_base → f_opt) and backward OSR mappings with
+   automatically generated compensation code (Algorithm 1);
+4. actually fire an optimizing OSR in the middle of the loop and check the
+   result matches an uninterrupted run.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import OSRTransDriver, ReconstructionMode, perform_osr
+from repro.frontend import compile_function
+from repro.ir import ProgramPoint, print_function, run_function
+from repro.passes import standard_pipeline
+
+SOURCE = """
+func weighted_sum(n) {
+  var total = 0;
+  var i = 0;
+  while (i < n) {
+    var weight = n * 3 + 1;      // loop-invariant: LICM will hoist it
+    var square = i * i;
+    total = total + square * weight;
+    i = i + 1;
+  }
+  return total;
+}
+"""
+
+
+def main() -> None:
+    # 1. Frontend: MiniC → alloca IR → mem2reg → f_base (SSA + debug info).
+    f_base = compile_function(SOURCE, "weighted_sum")
+    print("=== f_base (unoptimized SSA) ===")
+    print(print_function(f_base))
+
+    # 2. Optimize a clone while tracking the five primitive actions.
+    driver = OSRTransDriver(standard_pipeline())
+    pair = driver.run(f_base)
+    print("\n=== f_opt (OSR-aware optimized clone) ===")
+    print(print_function(pair.optimized))
+    print("\nrecorded primitive actions:", pair.mapper.action_counts())
+
+    # 3. Build OSR mappings with compensation code.
+    forward = pair.forward_mapping(ReconstructionMode.AVAIL)
+    backward = pair.backward_mapping(ReconstructionMode.AVAIL)
+    print(f"\nforward mapping covers {len(forward)} of "
+          f"{len(f_base.program_points())} f_base points")
+    print(f"backward mapping covers {len(backward)} of "
+          f"{len(pair.optimized.program_points())} f_opt points")
+    sample_point = next(
+        p for p in forward.domain() if forward[p].compensation.size > 0
+    )
+    entry = forward[sample_point]
+    print(f"example: OSR at {sample_point} lands at {entry.target} "
+          f"with compensation code [{entry.compensation}]")
+
+    # 4. Fire the transition mid-loop and compare against a straight run.
+    expected = run_function(f_base, [50]).value
+    osr_result = perform_osr(
+        f_base, pair.optimized, forward, sample_point, [50], use_continuation=True
+    )
+    print(f"\nstraight run: {expected}; run with mid-loop OSR: {osr_result.value}")
+    assert osr_result.value == expected, "OSR transition changed the result!"
+    print("OSR transition is transparent — results match.")
+
+
+if __name__ == "__main__":
+    main()

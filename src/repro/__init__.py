@@ -1,0 +1,45 @@
+"""repro — a reproduction of "On-Stack Replacement, Distilled" (PLDI 2018).
+
+The package is organized the way the paper is:
+
+* :mod:`repro.formal`, :mod:`repro.ctl`, :mod:`repro.rewrite` — the
+  abstract framework of Sections 2–4 (minimal language, CTL predicates,
+  LVE rewrite rules);
+* :mod:`repro.ir`, :mod:`repro.cfg`, :mod:`repro.analysis`,
+  :mod:`repro.ssa`, :mod:`repro.passes`, :mod:`repro.frontend` — the
+  compiler substrate standing in for LLVM (Section 5);
+* :mod:`repro.core` — the OSR framework itself: CodeMapper, OSR mappings,
+  ``reconstruct`` (Algorithm 1), OSRKit-style transitions, and the
+  optimized-code debugging machinery of Section 7;
+* :mod:`repro.vm` — a TinyVM-like adaptive runtime;
+* :mod:`repro.workloads`, :mod:`repro.harness` — the evaluation.
+
+Quickstart::
+
+    from repro.frontend import compile_function
+    from repro.core import OSRTransDriver
+    from repro.passes import standard_pipeline
+
+    f = compile_function("func f(n) { var s = 0; var i = 0; "
+                         "while (i < n) { s = s + i * 2; i = i + 1; } return s; }")
+    pair = OSRTransDriver(standard_pipeline()).run(f)
+    mapping = pair.forward_mapping()      # f_base → f_opt, with compensation code
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ir",
+    "cfg",
+    "analysis",
+    "formal",
+    "ctl",
+    "rewrite",
+    "ssa",
+    "passes",
+    "frontend",
+    "core",
+    "vm",
+    "workloads",
+    "harness",
+]

@@ -1,0 +1,228 @@
+"""Constant lattice and sparse conditional constant analysis.
+
+The lattice is the standard three-level one (⊤ unknown / constant c / ⊥
+overdefined).  The analysis follows Wegman–Zadeck SCCP: it propagates
+constants through SSA def-use chains while simultaneously discovering
+which CFG edges are executable, so code guarded by a statically-false
+branch never pollutes the result.  The SCCP *pass*
+(:mod:`repro.passes.sccp`) consumes this analysis and performs the actual
+rewrites (folding constants, deleting unreachable blocks) while recording
+primitive actions for the CodeMapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..cfg.graph import ControlFlowGraph
+from ..ir.expr import BinOp, Const, Expr, UnOp, Undef, Var, BINARY_OPS, UNARY_OPS
+from ..ir.function import Function, ProgramPoint
+from ..ir.instructions import (
+    Assign,
+    Branch,
+    Call,
+    Instruction,
+    Jump,
+    Load,
+    Phi,
+)
+
+__all__ = ["LatticeValue", "TOP", "BOTTOM", "ConstantAnalysis", "sccp_analysis"]
+
+
+@dataclass(frozen=True)
+class LatticeValue:
+    """A value in the constant-propagation lattice."""
+
+    kind: str  # "top", "const", "bottom"
+    value: Optional[int] = None
+
+    def is_top(self) -> bool:
+        return self.kind == "top"
+
+    def is_const(self) -> bool:
+        return self.kind == "const"
+
+    def is_bottom(self) -> bool:
+        return self.kind == "bottom"
+
+    def __repr__(self) -> str:
+        if self.is_const():
+            return f"Const⟨{self.value}⟩"
+        return "⊤" if self.is_top() else "⊥"
+
+
+TOP = LatticeValue("top")
+BOTTOM = LatticeValue("bottom")
+
+
+def const(value: int) -> LatticeValue:
+    return LatticeValue("const", int(value))
+
+
+def meet(a: LatticeValue, b: LatticeValue) -> LatticeValue:
+    """Lattice meet: ⊤ is the identity, conflicting constants give ⊥."""
+    if a.is_top():
+        return b
+    if b.is_top():
+        return a
+    if a.is_bottom() or b.is_bottom():
+        return BOTTOM
+    if a.value == b.value:
+        return a
+    return BOTTOM
+
+
+class ConstantAnalysis:
+    """Result of SCCP analysis: per-register lattice values and executable edges."""
+
+    def __init__(
+        self,
+        function: Function,
+        values: Dict[str, LatticeValue],
+        executable_blocks: Set[str],
+        executable_edges: Set[Tuple[str, str]],
+    ) -> None:
+        self.function = function
+        self.values = values
+        self.executable_blocks = executable_blocks
+        self.executable_edges = executable_edges
+
+    def value_of(self, name: str) -> LatticeValue:
+        return self.values.get(name, BOTTOM)
+
+    def constant_registers(self) -> Dict[str, int]:
+        """Registers proven to hold a single constant value."""
+        return {
+            name: lv.value  # type: ignore[misc]
+            for name, lv in self.values.items()
+            if lv.is_const()
+        }
+
+    def is_block_executable(self, label: str) -> bool:
+        return label in self.executable_blocks
+
+    def __repr__(self) -> str:
+        n_const = len(self.constant_registers())
+        return (
+            f"<ConstantAnalysis @{self.function.name}: {n_const} constant registers, "
+            f"{len(self.executable_blocks)} executable blocks>"
+        )
+
+
+def _eval_expr(expr: Expr, values: Dict[str, LatticeValue]) -> LatticeValue:
+    """Abstractly evaluate an expression over the lattice."""
+    if isinstance(expr, Const):
+        return const(expr.value)
+    if isinstance(expr, Undef):
+        return TOP
+    if isinstance(expr, Var):
+        return values.get(expr.name, TOP)
+    if isinstance(expr, UnOp):
+        operand = _eval_expr(expr.operand, values)
+        if operand.is_const():
+            return const(UNARY_OPS[expr.op](operand.value))  # type: ignore[arg-type]
+        return operand
+    if isinstance(expr, BinOp):
+        lhs = _eval_expr(expr.lhs, values)
+        rhs = _eval_expr(expr.rhs, values)
+        if lhs.is_const() and rhs.is_const():
+            if expr.op in ("div", "rem") and rhs.value == 0:
+                return BOTTOM
+            return const(BINARY_OPS[expr.op](lhs.value, rhs.value))  # type: ignore[arg-type]
+        if lhs.is_bottom() or rhs.is_bottom():
+            return BOTTOM
+        return TOP
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def sccp_analysis(function: Function, cfg: Optional[ControlFlowGraph] = None) -> ConstantAnalysis:
+    """Run sparse conditional constant propagation analysis on ``function``.
+
+    Parameters, call results and loads are conservatively ⊥ (they can hold
+    any run-time value).  Blocks whose every incoming edge is proven
+    non-executable never contribute, which lets the SCCP pass delete them.
+    """
+    cfg = cfg or ControlFlowGraph(function)
+    values: Dict[str, LatticeValue] = {}
+    for param in function.params:
+        values[param] = BOTTOM
+
+    executable_edges: Set[Tuple[str, str]] = set()
+    executable_blocks: Set[str] = set()
+    block_worklist: List[str] = [function.entry_label]
+    # Re-processing is driven by a simple "until stable" outer loop: our
+    # functions are small, so the simplicity is worth more than an exact
+    # SSA worklist.
+    for _ in range(len(function.block_labels()) * 4 + 16):
+        changed = False
+        # (Re)visit executable blocks in layout order.
+        if block_worklist:
+            for label in block_worklist:
+                if label not in executable_blocks:
+                    executable_blocks.add(label)
+                    changed = True
+            block_worklist = []
+
+        for label in function.block_labels():
+            if label not in executable_blocks:
+                continue
+            block = function.blocks[label]
+            for inst in block.instructions:
+                new_value: Optional[LatticeValue] = None
+                if isinstance(inst, Phi):
+                    merged = TOP
+                    for pred, incoming in inst.incoming.items():
+                        if (pred, label) in executable_edges:
+                            merged = meet(merged, _eval_expr(incoming, values))
+                    new_value = merged
+                    dest = inst.dest
+                elif isinstance(inst, Assign):
+                    new_value = _eval_expr(inst.expr, values)
+                    dest = inst.dest
+                elif isinstance(inst, Load):
+                    new_value = BOTTOM
+                    dest = inst.dest
+                elif isinstance(inst, Call) and inst.dest is not None:
+                    new_value = BOTTOM
+                    dest = inst.dest
+                else:
+                    dest = None
+
+                if dest is not None and new_value is not None:
+                    old = values.get(dest, TOP)
+                    merged = meet(old, new_value)
+                    if merged != old:
+                        values[dest] = merged
+                        changed = True
+
+            terminator = block.terminator
+            if isinstance(terminator, Jump):
+                edge = (label, terminator.target)
+                if edge not in executable_edges:
+                    executable_edges.add(edge)
+                    block_worklist.append(terminator.target)
+                    changed = True
+            elif isinstance(terminator, Branch):
+                cond = _eval_expr(terminator.cond, values)
+                targets: List[str]
+                if cond.is_const():
+                    targets = [
+                        terminator.then_target if cond.value != 0 else terminator.else_target
+                    ]
+                elif cond.is_top():
+                    targets = []
+                else:
+                    targets = [terminator.then_target, terminator.else_target]
+                for target in targets:
+                    edge = (label, target)
+                    if edge not in executable_edges:
+                        executable_edges.add(edge)
+                        block_worklist.append(target)
+                        changed = True
+
+        if not changed and not block_worklist:
+            break
+
+    return ConstantAnalysis(function, values, executable_blocks, executable_edges)

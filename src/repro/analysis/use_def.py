@@ -1,0 +1,77 @@
+"""Def-use and use-def chains.
+
+For SSA functions each register has a single definition, so chains are
+exact; for non-SSA functions the chains are conservative (every definition
+of a name is linked to every use of that name).  Passes use these chains
+to answer "is this value ever used?" (ADCE), "who uses the value I am
+about to replace?" (CSE) and "which instructions must be revisited after a
+rewrite?" (SCCP's worklist).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.expr import free_vars
+from ..ir.function import Function, ProgramPoint
+from ..ir.instructions import Instruction, Phi
+
+__all__ = ["DefUseChains", "build_def_use"]
+
+
+class DefUseChains:
+    """Definition and use sites for every register of a function."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        #: register → points where it is defined.
+        self.def_sites: Dict[str, List[ProgramPoint]] = {}
+        #: register → points where it is used.
+        self.use_sites: Dict[str, List[ProgramPoint]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for param in self.function.params:
+            self.def_sites.setdefault(param, [])
+        for point, inst in self.function.instructions():
+            for name in inst.defs():
+                self.def_sites.setdefault(name, []).append(point)
+            for name in inst.uses():
+                self.use_sites.setdefault(name, []).append(point)
+
+    # ------------------------------------------------------------------ #
+    # Queries.
+    # ------------------------------------------------------------------ #
+    def definition_points(self, name: str) -> List[ProgramPoint]:
+        return list(self.def_sites.get(name, []))
+
+    def use_points(self, name: str) -> List[ProgramPoint]:
+        return list(self.use_sites.get(name, []))
+
+    def single_definition(self, name: str) -> Optional[ProgramPoint]:
+        """The unique definition point of ``name`` (``None`` if 0 or many)."""
+        sites = self.def_sites.get(name, [])
+        if len(sites) == 1:
+            return sites[0]
+        return None
+
+    def is_dead(self, name: str) -> bool:
+        """True when ``name`` has no uses anywhere in the function."""
+        return not self.use_sites.get(name)
+
+    def users_of(self, name: str) -> List[Instruction]:
+        return [self.function.instruction_at(p) for p in self.use_points(name)]
+
+    def all_registers(self) -> Set[str]:
+        return set(self.def_sites) | set(self.use_sites)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DefUseChains for @{self.function.name}: "
+            f"{len(self.def_sites)} defs, {len(self.use_sites)} used names>"
+        )
+
+
+def build_def_use(function: Function) -> DefUseChains:
+    """Convenience constructor mirroring the other analysis entry points."""
+    return DefUseChains(function)

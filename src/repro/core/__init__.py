@@ -1,0 +1,71 @@
+"""The OSR framework: the paper's primary contribution.
+
+* OSR mappings with compensation code (Definition 3.1) and their
+  composition (Theorem 3.4) — :mod:`~repro.core.mapping`;
+* Algorithm 1 (``reconstruct``) with the ``live`` and ``avail`` strategies
+  — :mod:`~repro.core.reconstruct`;
+* the ``OSR_trans`` drivers for the formal language and for IR functions
+  — :mod:`~repro.core.osr_trans`;
+* primitive-action tracking and cross-version correspondence
+  — :mod:`~repro.core.codemapper`;
+* OSRKit-style continuation functions and transition execution
+  — :mod:`~repro.core.osrkit`;
+* empirical live-variable bisimulation / soundness checks
+  — :mod:`~repro.core.bisimulation`;
+* optimized-code debugging (Section 7) — :mod:`~repro.core.debug`.
+"""
+
+from .compensation import CompensationCode
+from .views import FormalView, FunctionView, ProgramView
+from .reconstruct import (
+    CannotReconstruct,
+    OSRPointClass,
+    ReconstructionMode,
+    build_compensation,
+    classify_point,
+    reconstruct_variable,
+)
+from .mapping import OSRMapping, OSRMappingEntry
+from .codemapper import (
+    ActionKind,
+    CodeMapper,
+    NullCodeMapper,
+    PrimitiveAction,
+    clone_for_optimization,
+)
+from .osr_trans import (
+    FormalOSRTransResult,
+    OSRTransDriver,
+    PointReport,
+    VersionPair,
+    osr_trans_formal,
+)
+from .bisimulation import (
+    check_ir_osr_transition,
+    check_live_variable_bisimulation,
+    check_mapping_soundness,
+    random_stores,
+)
+from .osrkit import (
+    ContinuationInfo,
+    OSRPoint,
+    make_continuation,
+    perform_osr,
+    split_block,
+)
+
+__all__ = [
+    "CompensationCode",
+    "ProgramView", "FormalView", "FunctionView",
+    "ReconstructionMode", "CannotReconstruct", "OSRPointClass",
+    "build_compensation", "classify_point", "reconstruct_variable",
+    "OSRMapping", "OSRMappingEntry",
+    "ActionKind", "PrimitiveAction", "CodeMapper", "NullCodeMapper",
+    "clone_for_optimization",
+    "osr_trans_formal", "FormalOSRTransResult", "OSRTransDriver",
+    "VersionPair", "PointReport",
+    "check_live_variable_bisimulation", "check_mapping_soundness",
+    "check_ir_osr_transition", "random_stores",
+    "split_block", "make_continuation", "ContinuationInfo", "OSRPoint",
+    "perform_osr",
+]

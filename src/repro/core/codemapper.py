@@ -1,0 +1,244 @@
+"""CodeMapper: primitive-action tracking and cross-version correspondence.
+
+Section 5.1 of the paper argues that, for LVE transformations, it is
+enough to instrument optimization passes with five primitive actions —
+``add``, ``delete``, ``hoist``, ``sink`` and ``replace`` — to be able to
+build the program-point and variable mappings an OSR transition needs.
+The :class:`CodeMapper` is the object every OSR-aware pass updates while
+it mutates the optimized clone of a function (the ``OSR_CM`` object in the
+paper's Figure 6 excerpt).
+
+From the recorded actions and the uid correspondence produced by cloning,
+the CodeMapper answers the two questions the OSR driver asks:
+
+* *point correspondence*: given a point in one version, where should an
+  OSR transition land in the other version?  A point maps to the location
+  of the nearest following instruction in the same block that exists in
+  both versions and has not been moved; deleted, inserted and hoisted/sunk
+  instructions never serve as anchors, because the state realignment for
+  them is exactly what the compensation code reconstructs.
+* *register aliases*: ``replace`` actions record that a register of the
+  optimized version was substituted by another operand, which
+  ``reconstruct`` can exploit ("there is a live alias for a variable x
+  that can be used in its place", Section 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.expr import Expr, Var
+from ..ir.function import Function, ProgramPoint
+from ..ir.instructions import Instruction
+
+__all__ = ["ActionKind", "PrimitiveAction", "CodeMapper", "NullCodeMapper", "clone_for_optimization"]
+
+
+class ActionKind:
+    """The five primitive actions of Section 5.1."""
+
+    ADD = "add"
+    DELETE = "delete"
+    HOIST = "hoist"
+    SINK = "sink"
+    REPLACE = "replace"
+
+    ALL = (ADD, DELETE, HOIST, SINK, REPLACE)
+
+
+@dataclass(frozen=True)
+class PrimitiveAction:
+    """One recorded IR manipulation."""
+
+    kind: str
+    detail: str = ""
+    uid: Optional[int] = None
+
+
+class CodeMapper:
+    """Tracks IR updates applied to the optimized clone of a function."""
+
+    def __init__(
+        self,
+        original: Function,
+        optimized: Function,
+        uid_map: Dict[int, int],
+    ) -> None:
+        self.original = original
+        self.optimized = optimized
+        #: original instruction uid → cloned (optimized) instruction uid.
+        self.forward_uid: Dict[int, int] = dict(uid_map)
+        self.backward_uid: Dict[int, int] = {v: k for k, v in uid_map.items()}
+        #: uids (in the optimized function) deleted by passes.
+        self.deleted: set = set()
+        #: uids (in the optimized function) created by passes.
+        self.added: set = set()
+        #: uids (in the optimized function) moved by hoist/sink.
+        self.moved: set = set()
+        #: optimized-version register → operand it was replaced with.
+        self.aliases: Dict[str, Expr] = {}
+        self.actions: List[PrimitiveAction] = []
+
+    # ------------------------------------------------------------------ #
+    # Recording interface used by passes (mirrors the paper's OSR_CM).
+    # ------------------------------------------------------------------ #
+    def add_instruction(self, inst: Instruction, where: str = "") -> None:
+        """Record insertion of a brand new instruction into the optimized code."""
+        self.added.add(inst.uid)
+        self.actions.append(PrimitiveAction(ActionKind.ADD, f"{inst} {where}".strip(), inst.uid))
+
+    def delete_instruction(self, inst: Instruction) -> None:
+        """Record deletion of an instruction from the optimized code."""
+        if inst.uid in self.added:
+            self.added.discard(inst.uid)
+        else:
+            self.deleted.add(inst.uid)
+        self.actions.append(PrimitiveAction(ActionKind.DELETE, str(inst), inst.uid))
+
+    def hoist_instruction(self, inst: Instruction, from_block: str, to_block: str) -> None:
+        """Record that an instruction moved to an earlier location."""
+        self.moved.add(inst.uid)
+        self.actions.append(
+            PrimitiveAction(ActionKind.HOIST, f"{inst}: {from_block} → {to_block}", inst.uid)
+        )
+
+    def sink_instruction(self, inst: Instruction, from_block: str, to_block: str) -> None:
+        """Record that an instruction moved to a later location."""
+        self.moved.add(inst.uid)
+        self.actions.append(
+            PrimitiveAction(ActionKind.SINK, f"{inst}: {from_block} → {to_block}", inst.uid)
+        )
+
+    def replace_all_uses_with(self, old: str, new: Expr, inst: Optional[Instruction] = None) -> None:
+        """Record that uses of register ``old`` were replaced by operand ``new``."""
+        self.aliases[old] = new
+        detail = f"{old} → {new}" + (f" (in {inst})" if inst is not None else "")
+        self.actions.append(
+            PrimitiveAction(ActionKind.REPLACE, detail, inst.uid if inst else None)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Statistics (Tables 1 and 2).
+    # ------------------------------------------------------------------ #
+    def action_counts(self) -> Dict[str, int]:
+        counts = {kind: 0 for kind in ActionKind.ALL}
+        for action in self.actions:
+            counts[action.kind] += 1
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Point correspondence.
+    # ------------------------------------------------------------------ #
+    def _uid_index(self, function: Function) -> Dict[int, ProgramPoint]:
+        return {inst.uid: point for point, inst in function.instructions()}
+
+    def corresponding_optimized_point(self, point: ProgramPoint) -> Optional[ProgramPoint]:
+        """Map a point of the *original* function to the optimized function.
+
+        Returns ``None`` when no anchor instruction survives in the block
+        (e.g. the whole block became unreachable and was removed), in
+        which case OSR is not supported at that point.
+        """
+        return self._correspond(
+            point,
+            source=self.original,
+            target=self.optimized,
+            uid_translation=self.forward_uid,
+            dropped=self.deleted,
+        )
+
+    def corresponding_original_point(self, point: ProgramPoint) -> Optional[ProgramPoint]:
+        """Map a point of the *optimized* function back to the original."""
+        return self._correspond(
+            point,
+            source=self.optimized,
+            target=self.original,
+            uid_translation=self.backward_uid,
+            dropped=self.added,
+        )
+
+    def _correspond(
+        self,
+        point: ProgramPoint,
+        *,
+        source: Function,
+        target: Function,
+        uid_translation: Dict[int, int],
+        dropped: set,
+    ) -> Optional[ProgramPoint]:
+        block = source.blocks.get(point.block)
+        if block is None:
+            return None
+        target_index = self._uid_index(target)
+        for index in range(point.index, len(block.instructions)):
+            inst = block.instructions[index]
+            if inst.uid in dropped:
+                continue
+            translated = uid_translation.get(inst.uid)
+            if translated is None:
+                continue
+            if inst.uid in self.moved or translated in self.moved:
+                # Hoisted/sunk instructions execute at a different position
+                # in the other version; they cannot anchor a landing point.
+                continue
+            located = target_index.get(translated)
+            if located is not None:
+                return self._skip_phi_run(target, located)
+        return None
+
+    @staticmethod
+    def _skip_phi_run(function: Function, point: ProgramPoint) -> ProgramPoint:
+        """Move a landing point past a block's leading phi nodes.
+
+        OSR transitions land *after* the phi run: the compensation code
+        materializes the values the phis would have produced, so resuming
+        in the middle of the run would re-evaluate them against an edge
+        that was never taken.
+        """
+        from ..ir.instructions import Phi
+
+        block = function.blocks[point.block]
+        index = point.index
+        while index < len(block.instructions) and isinstance(
+            block.instructions[index], Phi
+        ):
+            index += 1
+        if index == point.index:
+            return point
+        return ProgramPoint(point.block, index)
+
+    def __repr__(self) -> str:
+        counts = self.action_counts()
+        summary = ", ".join(f"{kind}={counts[kind]}" for kind in ActionKind.ALL)
+        return f"<CodeMapper @{self.original.name}: {summary}>"
+
+
+class NullCodeMapper:
+    """A no-op recorder, used when a pass runs outside an OSR context."""
+
+    def add_instruction(self, inst: Instruction, where: str = "") -> None:  # noqa: D401
+        pass
+
+    def delete_instruction(self, inst: Instruction) -> None:
+        pass
+
+    def hoist_instruction(self, inst: Instruction, from_block: str, to_block: str) -> None:
+        pass
+
+    def sink_instruction(self, inst: Instruction, from_block: str, to_block: str) -> None:
+        pass
+
+    def replace_all_uses_with(self, old: str, new: Expr, inst: Optional[Instruction] = None) -> None:
+        pass
+
+
+def clone_for_optimization(function: Function, suffix: str = ".opt") -> Tuple[Function, CodeMapper]:
+    """Clone ``function`` and return the clone plus a CodeMapper linking the two.
+
+    This is the paper's ``apply`` entry point for the IR level: passes run
+    on the clone and report their actions to the returned CodeMapper; the
+    original stays untouched and serves as the deoptimization target.
+    """
+    clone, uid_map = function.clone(function.name + suffix)
+    return clone, CodeMapper(function, clone, uid_map)

@@ -1,0 +1,15 @@
+"""Optimized-code debugging support (Section 7)."""
+
+from .debuginfo import DebugInfo, SourceVariable
+from .endangered import BreakpointReport, EndangeredAnalysis, analyze_function
+from .recovery import RecoveryReport, measure_recoverability
+
+__all__ = [
+    "DebugInfo",
+    "SourceVariable",
+    "BreakpointReport",
+    "EndangeredAnalysis",
+    "analyze_function",
+    "RecoveryReport",
+    "measure_recoverability",
+]

@@ -1,0 +1,220 @@
+"""OSR_trans: building forward and backward OSR mappings automatically.
+
+Two drivers are provided, matching the paper's two levels:
+
+* :func:`osr_trans_formal` — the literal ``OSR_trans(p, T)`` of Section 4.2:
+  applies an LVE rewrite rule (or rule sequence) to a formal program, then
+  builds strict forward and backward OSR mappings using Algorithm 1 with
+  the identity program-point mapping (Theorem 4.6).
+
+* :class:`OSRTransDriver` — the IR-level embodiment of Section 5.4:
+  clones a function, runs an OSR-aware pass pipeline on the clone while a
+  :class:`~repro.core.codemapper.CodeMapper` records primitive actions,
+  derives the point correspondence from the recorded actions, and builds
+  per-point compensation code with ``reconstruct``.  Its output (the
+  per-point feasibility classes and compensation sizes) is what Figures
+  7–8 and Table 3 aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..formal.program import FormalProgram
+from ..ir.function import Function, ProgramPoint
+from ..rewrite.engine import TransformationResult, apply_rules
+from ..rewrite.rule import RewriteRule
+from .codemapper import CodeMapper, clone_for_optimization
+from .compensation import CompensationCode
+from .mapping import OSRMapping
+from .reconstruct import (
+    CannotReconstruct,
+    OSRPointClass,
+    ReconstructionMode,
+    build_compensation,
+    classify_point,
+)
+from .views import FormalView, FunctionView, ProgramView
+
+__all__ = [
+    "FormalOSRTransResult",
+    "osr_trans_formal",
+    "PointReport",
+    "OSRTransDriver",
+    "VersionPair",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Formal level (Section 4.2, Theorem 4.6).
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class FormalOSRTransResult:
+    """Output of ``OSR_trans``: the transformed program plus both mappings."""
+
+    original: FormalProgram
+    transformed: FormalProgram
+    forward: OSRMapping
+    backward: OSRMapping
+    transformation: TransformationResult
+
+    def unsupported_forward_points(self) -> List[int]:
+        """Points of the original program where no forward OSR is possible."""
+        return [p for p in self.original.points() if p not in self.forward]
+
+
+def osr_trans_formal(
+    program: FormalProgram,
+    rules: Sequence[RewriteRule],
+    *,
+    mode: ReconstructionMode = ReconstructionMode.LIVE,
+) -> FormalOSRTransResult:
+    """``OSR_trans(p, T) → (p', M_pp', M_p'p)`` for in-place LVE rules.
+
+    The program-point mapping between ``p`` and ``p' = ⌈T⌉(p)`` is the
+    identity (the rules replace instructions in place), so the mapping is
+    built by invoking Algorithm 1 at every point; points where
+    reconstruction fails are simply left out of the (partial) mapping.
+    """
+    transformation = apply_rules(program, rules)
+    transformed = transformation.transformed
+
+    source_view = FormalView(program)
+    target_view = FormalView(transformed)
+
+    forward = OSRMapping(source_view, target_view, strict=True, name="forward")
+    backward = OSRMapping(target_view, source_view, strict=True, name="backward")
+
+    for point in program.points():
+        if point == 1:
+            # Point 1 is the `in` boundary: execution has not started yet,
+            # so it is not a meaningful OSR location (and its semantics
+            # checks every declared input, including dead ones).
+            continue
+        try:
+            code = build_compensation(source_view, point, target_view, point, mode=mode)
+            forward.add(point, point, code)
+        except CannotReconstruct:
+            pass
+        try:
+            code = build_compensation(target_view, point, source_view, point, mode=mode)
+            backward.add(point, point, code)
+        except CannotReconstruct:
+            pass
+
+    return FormalOSRTransResult(program, transformed, forward, backward, transformation)
+
+
+# ---------------------------------------------------------------------- #
+# IR level (Section 5.4).
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class PointReport:
+    """Feasibility of one OSR source point (one bar segment of Figure 7/8)."""
+
+    source: ProgramPoint
+    target: Optional[ProgramPoint]
+    point_class: OSRPointClass
+    compensation: Optional[CompensationCode]
+
+    @property
+    def feasible(self) -> bool:
+        return self.point_class is not OSRPointClass.UNSUPPORTED and self.target is not None
+
+
+@dataclass
+class VersionPair:
+    """A function, its optimized clone, and everything needed to hop between them."""
+
+    base: Function
+    optimized: Function
+    mapper: CodeMapper
+    base_view: FunctionView
+    opt_view: FunctionView
+
+    def report(self, *, deopt: bool = False) -> List[PointReport]:
+        """Per-point OSR feasibility in the chosen direction.
+
+        ``deopt=False`` analyses optimizing transitions (f_base → f_opt,
+        Figure 7); ``deopt=True`` analyses deoptimizing transitions
+        (f_opt → f_base, Figure 8).
+        """
+        reports: List[PointReport] = []
+        if not deopt:
+            src_fn, src_view, dst_view = self.base, self.base_view, self.opt_view
+            correspond = self.mapper.corresponding_optimized_point
+        else:
+            src_fn, src_view, dst_view = self.optimized, self.opt_view, self.base_view
+            correspond = self.mapper.corresponding_original_point
+
+        for point in src_fn.program_points():
+            target = correspond(point)
+            if target is None:
+                reports.append(PointReport(point, None, OSRPointClass.UNSUPPORTED, None))
+                continue
+            point_class, code = classify_point(src_view, point, dst_view, target)
+            reports.append(PointReport(point, target, point_class, code))
+        return reports
+
+    def forward_mapping(self, mode: ReconstructionMode = ReconstructionMode.AVAIL) -> OSRMapping:
+        """A populated OSR mapping f_base → f_opt under the given strategy."""
+        return self._mapping(deopt=False, mode=mode)
+
+    def backward_mapping(self, mode: ReconstructionMode = ReconstructionMode.AVAIL) -> OSRMapping:
+        """A populated OSR mapping f_opt → f_base under the given strategy."""
+        return self._mapping(deopt=True, mode=mode)
+
+    def _mapping(self, *, deopt: bool, mode: ReconstructionMode) -> OSRMapping:
+        if not deopt:
+            src_view, dst_view = self.base_view, self.opt_view
+            src_fn = self.base
+            correspond = self.mapper.corresponding_optimized_point
+            name = "fbase→fopt"
+        else:
+            src_view, dst_view = self.opt_view, self.base_view
+            src_fn = self.optimized
+            correspond = self.mapper.corresponding_original_point
+            name = "fopt→fbase"
+        mapping = OSRMapping(src_view, dst_view, strict=True, name=name)
+        for point in src_fn.program_points():
+            target = correspond(point)
+            if target is None:
+                continue
+            try:
+                code = build_compensation(src_view, point, dst_view, target, mode=mode)
+            except CannotReconstruct:
+                continue
+            mapping.add(point, target, code)
+        return mapping
+
+
+class OSRTransDriver:
+    """Clone-optimize-and-map driver for IR functions (the paper's ``apply``)."""
+
+    def __init__(self, passes: Sequence) -> None:
+        from ..passes.base import PassManager
+
+        self.passes = list(passes)
+        self._manager = PassManager(self.passes)
+
+    def run(self, function: Function, *, suffix: str = ".opt") -> VersionPair:
+        """Optimize a clone of ``function`` and build the version pair.
+
+        The original function is left untouched (it is the deoptimization
+        target); the clone is optimized in place while the CodeMapper
+        records the primitive actions of every pass.
+        """
+        optimized, mapper = clone_for_optimization(function, suffix)
+        self._manager.run(optimized, mapper)
+        return VersionPair(
+            base=function,
+            optimized=optimized,
+            mapper=mapper,
+            base_view=FunctionView(function),
+            opt_view=FunctionView(optimized),
+        )

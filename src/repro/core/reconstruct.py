@@ -1,0 +1,258 @@
+"""Algorithm 1: automatic compensation-code generation for LVE transformations.
+
+Given an OSR source point ``l`` in program version ``p`` and a destination
+point ``l'`` in version ``p'`` (both views of :class:`ProgramView`),
+``build_compensation`` produces the compensation code that assigns every
+variable live at ``l'`` the value it would have had, had execution run in
+``p'`` all along.  Variables live at both points need no work (the
+live-variable-bisimulation hypothesis guarantees they already hold the
+right value); the remaining ones are *reconstructed* by recursively
+re-materializing their defining assignments, exactly as Algorithm 1 does:
+
+1. find the unique definition of ``x`` reaching the landing point;
+2. if that same definition reaches ``l'`` and ``x`` is live at both the
+   source and the destination, the source value can be used directly;
+3. otherwise recursively reconstruct the operands of the defining
+   assignment and re-emit it;
+4. give up when a variable has multiple (or no) reaching definitions, or
+   is defined by an instruction whose value cannot be recomputed (loads,
+   calls, parameters, multi-valued phis).
+
+Two strategies are provided, matching the paper's §5.2:
+
+* ``live`` — only variables live at the OSR source may be read;
+* ``avail`` — values already computed at the source (available, possibly
+  dead) may additionally be read; every such value is recorded in the
+  returned code's ``keep_alive`` set (the paper's ``K_avail``), since the
+  runtime must keep it around to support the transition.
+
+The correspondence between variables of the two versions is by name; this
+matches both the formal development (same variable names) and the IR-level
+driver, which always compares a function against an optimized *clone* of
+itself, where registers keep their names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..ir.expr import Expr, free_vars
+from .compensation import CompensationCode
+from .views import ProgramView
+
+__all__ = [
+    "ReconstructionMode",
+    "CannotReconstruct",
+    "OSRPointClass",
+    "reconstruct_variable",
+    "build_compensation",
+    "classify_point",
+]
+
+
+class ReconstructionMode(str, Enum):
+    """The two reconstruction strategies of Section 5.2."""
+
+    LIVE = "live"
+    AVAIL = "avail"
+
+
+class CannotReconstruct(RuntimeError):
+    """Raised when Algorithm 1 gives up on a variable (the paper's ``undef``)."""
+
+    def __init__(self, variable: str, reason: str) -> None:
+        self.variable = variable
+        self.reason = reason
+        super().__init__(f"cannot reconstruct {variable!r}: {reason}")
+
+
+class OSRPointClass(str, Enum):
+    """Feasibility classification of an OSR point (Figures 7 and 8)."""
+
+    EMPTY = "empty"          # c = ⟨⟩: no compensation needed
+    LIVE = "live"            # live variables at the source suffice
+    AVAIL = "avail"          # needs values kept alive by the avail strategy
+    UNSUPPORTED = "unsupported"  # reconstruct gives up even with avail
+
+
+def _is_single_assignment(view: ProgramView) -> bool:
+    """Whether the view represents an SSA program (see module docstring)."""
+    return bool(getattr(view, "single_assignment", False))
+
+
+def reconstruct_variable(
+    var: str,
+    src_view: ProgramView,
+    src_point: Hashable,
+    dst_view: ProgramView,
+    dst_point: Hashable,
+    at_point: Hashable,
+    *,
+    mode: ReconstructionMode,
+    visited: Set[Hashable],
+    keep_alive: Set[str],
+    single_assignment: bool,
+) -> List[Tuple[str, Expr]]:
+    """Algorithm 1's ``reconstruct(x, p, l, p', l', l'_at)``.
+
+    Returns the (possibly empty) list of assignments to emit, in
+    dependency order.  Raises :class:`CannotReconstruct` when the value
+    cannot be rebuilt under the requested ``mode``.
+    """
+    src_live = src_view.live_in(src_point)
+    dst_live = dst_view.live_in(dst_point)
+
+    def value_obtainable_from_source(name: str, defining_point: Hashable) -> bool:
+        """Line 4 of Algorithm 1: can ``name`` be read directly from the source?
+
+        Requires the definition reaching the landing point to be the one
+        whose value the source holds.  In SSA that identity is automatic
+        (every register has a single definition); otherwise we insist the
+        same definition also uniquely reaches the OSR destination ``l'``.
+        """
+        if not single_assignment:
+            if dst_view.unique_reaching_definition(name, dst_point) != defining_point:
+                return False
+            if name not in dst_live:
+                return False
+        if name in src_live:
+            return True
+        if mode is ReconstructionMode.AVAIL and name in src_view.available_at(src_point):
+            keep_alive.add(name)
+            return True
+        return False
+
+    # Line 1: unique reaching definition of var at the landing point.
+    defining_point = dst_view.unique_reaching_definition(var, at_point)
+    if defining_point is None:
+        # No unique definition: fall back to reading the source value when
+        # allowed, otherwise give up (the paper's `throw undef`).
+        if var in src_live:
+            return []
+        if mode is ReconstructionMode.AVAIL and var in src_view.available_at(src_point):
+            keep_alive.add(var)
+            return []
+        raise CannotReconstruct(var, f"no unique reaching definition at {at_point}")
+
+    # Line 2/3: avoid revisiting a definition (work repetition / cycles).
+    if defining_point in visited:
+        return []
+    visited.add(defining_point)
+
+    # Line 4: the source already holds the value.
+    if value_obtainable_from_source(var, defining_point):
+        return []
+
+    # Lines 6–8: re-materialize the defining assignment.
+    assignment = dst_view.assignment_at(defining_point)
+    if assignment is None:
+        # The definition is a load, call, parameter, alloca or an
+        # irreducible phi: its value cannot be recomputed.  The avail
+        # strategy may still read it from the source if it was computed
+        # there (Section 5.2's liveness extension).
+        if var in src_live:
+            return []
+        if mode is ReconstructionMode.AVAIL and var in src_view.available_at(src_point):
+            keep_alive.add(var)
+            return []
+        raise CannotReconstruct(
+            var, f"definition at {defining_point} is not a pure assignment"
+        )
+
+    dest, expr = assignment
+    code: List[Tuple[str, Expr]] = []
+    for operand in sorted(free_vars(expr)):
+        code.extend(
+            reconstruct_variable(
+                operand,
+                src_view,
+                src_point,
+                dst_view,
+                dst_point,
+                defining_point,
+                mode=mode,
+                visited=visited,
+                keep_alive=keep_alive,
+                single_assignment=single_assignment,
+            )
+        )
+    code.append((dest, expr))
+    return code
+
+
+def build_compensation(
+    src_view: ProgramView,
+    src_point: Hashable,
+    dst_view: ProgramView,
+    dst_point: Hashable,
+    *,
+    mode: ReconstructionMode = ReconstructionMode.LIVE,
+) -> CompensationCode:
+    """Build the compensation code for an OSR from ``src_point`` to ``dst_point``.
+
+    Every variable live at the destination is either taken directly from
+    the source environment (when live there too — the LVB guarantee) or
+    reconstructed with Algorithm 1.  Raises :class:`CannotReconstruct`
+    when some live destination variable cannot be handled under ``mode``.
+    """
+    single_assignment = _is_single_assignment(src_view) and _is_single_assignment(dst_view)
+    src_live = src_view.live_in(src_point)
+    dst_live = dst_view.live_in(dst_point)
+
+    visited: Set[Hashable] = set()
+    keep_alive: Set[str] = set()
+    assignments: List[Tuple[str, Expr]] = []
+
+    for var in sorted(dst_live):
+        if var in src_live:
+            # Live at both ends: holds the same value by live-variable
+            # bisimilarity; no compensation required.
+            continue
+        assignments.extend(
+            reconstruct_variable(
+                var,
+                src_view,
+                src_point,
+                dst_view,
+                dst_point,
+                dst_point,
+                mode=mode,
+                visited=visited,
+                keep_alive=keep_alive,
+                single_assignment=single_assignment,
+            )
+        )
+
+    return CompensationCode.of(assignments, keep_alive)
+
+
+def classify_point(
+    src_view: ProgramView,
+    src_point: Hashable,
+    dst_view: ProgramView,
+    dst_point: Hashable,
+) -> Tuple[OSRPointClass, Optional[CompensationCode]]:
+    """Classify OSR feasibility at one point pair (the Figure 7/8 breakdown).
+
+    Tries the ``live`` strategy first, then ``avail``; returns the class
+    plus the compensation code of the cheapest successful strategy (``None``
+    when unsupported).
+    """
+    try:
+        code = build_compensation(
+            src_view, src_point, dst_view, dst_point, mode=ReconstructionMode.LIVE
+        )
+        if code.is_empty():
+            return OSRPointClass.EMPTY, code
+        return OSRPointClass.LIVE, code
+    except CannotReconstruct:
+        pass
+    try:
+        code = build_compensation(
+            src_view, src_point, dst_view, dst_point, mode=ReconstructionMode.AVAIL
+        )
+        return OSRPointClass.AVAIL, code
+    except CannotReconstruct:
+        return OSRPointClass.UNSUPPORTED, None

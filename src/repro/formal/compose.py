@@ -1,0 +1,98 @@
+"""Program composition (Definition 3.3) and live-store replacement (Theorem 3.2).
+
+``compose`` implements the sequential composition ``p ∘ p'`` used to chain
+compensation-code programs when OSR mappings are composed (Theorem 3.4):
+the ``out`` of the first program must cover the ``in`` of the second, the
+boundary instructions are dropped and goto targets of the second program
+are relocated.
+
+``check_live_store_replacement`` is the executable form of Theorem 3.2: at
+any state of a run, throwing away dead variables and continuing must
+produce the same output.  Property-based tests exercise it over random
+programs and stores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from .analysis import formal_live_variables
+from .program import FIn, FOut, FormalProgram
+from .semantics import (
+    FormalAbort,
+    UndefinedSemantics,
+    run_formal,
+    trace_formal,
+)
+
+__all__ = ["ComposeError", "compose", "check_live_store_replacement"]
+
+
+class ComposeError(ValueError):
+    """Raised when two programs are not composable per Definition 3.3."""
+
+
+def compose(p: FormalProgram, q: FormalProgram) -> FormalProgram:
+    """Sequential composition ``p ∘ q`` (Definition 3.3).
+
+    Requires the output variables of ``p`` to be a superset of the input
+    variables of ``q``.  The result behaves as "run p, then run q on p's
+    final store": ``[[p ∘ q]](σ) = [[q]]([[p]](σ))``.
+    """
+    p_out = set(p.output_variables)
+    q_in = set(q.input_variables)
+    if not q_in <= p_out:
+        raise ComposeError(
+            f"programs are not composable: q needs inputs {sorted(q_in - p_out)} "
+            "that p does not output"
+        )
+    # Per Definition 3.3: drop p's trailing `out` and q's leading `in`,
+    # then shift q's goto targets by |p| - 2 so they land on the relocated
+    # instructions.
+    offset = len(p) - 2
+    body_p = list(p.instructions[:-1])  # keep p's `in`, drop its `out`
+    body_q = [inst.renumbered(offset) for inst in q.instructions[1:]]  # drop q's `in`
+    # The result's `out` is q's `out` (already included in body_q, renumbered).
+    return FormalProgram(body_p + body_q)
+
+
+def check_live_store_replacement(
+    program: FormalProgram,
+    initial_store: Mapping[str, int],
+    *,
+    max_steps: int = 100_000,
+) -> bool:
+    """Empirically check Theorem 3.2 on one run of ``program``.
+
+    For every state ``(σ, l)`` in the trace from ``initial_store``,
+    restricting ``σ`` to ``live(p, l)`` and resuming from ``l`` must yield
+    the same output store as the original run.  Returns ``True`` when the
+    property holds at every state; raises if the original run itself has
+    undefined semantics (callers should only pass valid runs).
+    """
+    live = formal_live_variables(program)
+    reference_output = run_formal(program, initial_store, max_steps=max_steps)
+    states = trace_formal(program, initial_store, max_steps=max_steps)
+    for state in states:
+        if state.point > len(program):
+            continue
+        if state.point == 1:
+            # The initial `in` instruction checks that every declared input
+            # is defined, including dead ones; the theorem speaks about the
+            # states of the computation proper, so start checking after it.
+            continue
+        full_store = state.store_dict()
+        restricted = {
+            name: value
+            for name, value in full_store.items()
+            if name in live[state.point]
+        }
+        try:
+            resumed_output = run_formal(
+                program, restricted, max_steps=max_steps, start_point=state.point
+            )
+        except (FormalAbort, UndefinedSemantics):
+            return False
+        if resumed_output != reference_output:
+            return False
+    return True

@@ -1,0 +1,194 @@
+"""Big-step semantics, traces and semantic equivalence (Figure 2, Defs 2.2–2.6).
+
+States are ``(store, point)`` pairs; a store is a finite mapping from
+variable names to integers (absent variables are ⊥).  ``run`` executes a
+program on an initial store and returns the output store restricted to
+the ``out`` variables, matching the semantic function ``[[p]]`` of
+Definition 2.4; ``trace`` returns the full sequence of states (the trace
+``τ_p^σ`` of Definition 2.6), which is what live-variable bisimulation and
+the mapping-soundness checks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..ir.expr import evaluate
+from .program import (
+    FAbort,
+    FAssign,
+    FCondGoto,
+    FGoto,
+    FIn,
+    FOut,
+    FSkip,
+    FormalProgram,
+)
+
+__all__ = [
+    "FormalAbort",
+    "UndefinedSemantics",
+    "FormalState",
+    "run_formal",
+    "trace_formal",
+    "step",
+    "semantically_equivalent_on",
+]
+
+
+class FormalAbort(RuntimeError):
+    """Raised when a formal program executes ``abort``."""
+
+
+class UndefinedSemantics(RuntimeError):
+    """Raised when a program has no defined semantics for a store.
+
+    Covers missing input variables, undefined variables in expressions,
+    non-termination within the step budget and out-of-range jumps — the
+    situations Definition 2.4 groups under "undefined semantics".
+    """
+
+
+Store = Dict[str, int]
+
+
+@dataclass(frozen=True)
+class FormalState:
+    """A program state ``(σ, l)``: store plus next program point."""
+
+    store: Tuple[Tuple[str, int], ...]
+    point: int
+
+    @staticmethod
+    def make(store: Mapping[str, int], point: int) -> "FormalState":
+        return FormalState(tuple(sorted(store.items())), point)
+
+    def store_dict(self) -> Store:
+        return dict(self.store)
+
+
+def step(program: FormalProgram, store: Store, point: int) -> Tuple[Store, int]:
+    """One transition of the relation ``⇒_p`` (Figure 2).
+
+    Returns the new ``(store, point)``.  The caller is responsible for
+    noticing when ``point`` becomes ``|p| + 1`` (the program has finished).
+    """
+    inst = program[point]
+    if isinstance(inst, FIn):
+        for name in inst.variables:
+            if name not in store:
+                raise UndefinedSemantics(
+                    f"input variable {name!r} is undefined on entry"
+                )
+        return store, point + 1
+    if isinstance(inst, FOut):
+        for name in inst.variables:
+            if name not in store:
+                raise UndefinedSemantics(
+                    f"output variable {name!r} is undefined at the out instruction"
+                )
+        restricted = {name: store[name] for name in inst.variables}
+        return restricted, point + 1
+    if isinstance(inst, FAssign):
+        try:
+            value = evaluate(inst.expr, store)
+        except KeyError as exc:
+            raise UndefinedSemantics(f"point {point}: {exc}") from exc
+        new_store = dict(store)
+        new_store[inst.dest] = value
+        return new_store, point + 1
+    if isinstance(inst, FSkip):
+        return store, point + 1
+    if isinstance(inst, FGoto):
+        _check_target(program, inst.target, point)
+        return store, inst.target
+    if isinstance(inst, FCondGoto):
+        try:
+            value = evaluate(inst.cond, store)
+        except KeyError as exc:
+            raise UndefinedSemantics(f"point {point}: {exc}") from exc
+        if value != 0:
+            _check_target(program, inst.target, point)
+            return store, inst.target
+        return store, point + 1
+    if isinstance(inst, FAbort):
+        raise FormalAbort(f"abort executed at point {point}")
+    raise TypeError(f"unknown formal instruction {inst!r}")
+
+
+def _check_target(program: FormalProgram, target: int, point: int) -> None:
+    if not 1 <= target <= len(program):
+        raise UndefinedSemantics(
+            f"point {point}: goto target {target} is outside the program"
+        )
+
+
+def run_formal(
+    program: FormalProgram,
+    store: Mapping[str, int],
+    *,
+    max_steps: int = 100_000,
+    start_point: int = 1,
+) -> Store:
+    """The semantic function ``[[p]](σ)`` (restricted to the output variables).
+
+    ``start_point`` other than 1 models resuming after an OSR landing: the
+    store is taken as-is and execution continues from that point.
+    """
+    current: Store = dict(store)
+    point = start_point
+    for _ in range(max_steps):
+        if point == len(program) + 1:
+            return current
+        current, point = step(program, current, point)
+    raise UndefinedSemantics(f"program did not terminate within {max_steps} steps")
+
+
+def trace_formal(
+    program: FormalProgram,
+    store: Mapping[str, int],
+    *,
+    max_steps: int = 100_000,
+    start_point: int = 1,
+) -> List[FormalState]:
+    """The trace ``τ_p^σ``: every state visited, in order, including the final one."""
+    states: List[FormalState] = []
+    current: Store = dict(store)
+    point = start_point
+    for _ in range(max_steps):
+        states.append(FormalState.make(current, point))
+        if point == len(program) + 1:
+            return states
+        current, point = step(program, current, point)
+    raise UndefinedSemantics(f"program did not terminate within {max_steps} steps")
+
+
+def semantically_equivalent_on(
+    p1: FormalProgram,
+    p2: FormalProgram,
+    stores: Iterable[Mapping[str, int]],
+    *,
+    max_steps: int = 100_000,
+) -> bool:
+    """Empirical check of Definition 2.5 over a finite set of input stores.
+
+    Both programs must produce the same output store (or both fail) on
+    every provided store.  This is how tests validate that a rewrite rule
+    is semantics-preserving; it is of course not a proof, but combined
+    with hypothesis-generated stores it gives strong evidence.
+    """
+    for store in stores:
+        out1: Optional[Store]
+        out2: Optional[Store]
+        try:
+            out1 = run_formal(p1, store, max_steps=max_steps)
+        except (FormalAbort, UndefinedSemantics):
+            out1 = None
+        try:
+            out2 = run_formal(p2, store, max_steps=max_steps)
+        except (FormalAbort, UndefinedSemantics):
+            out2 = None
+        if out1 != out2:
+            return False
+    return True

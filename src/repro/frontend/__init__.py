@@ -1,0 +1,23 @@
+"""MiniC: the small C-like frontend used to author workloads (clang -O0 stand-in)."""
+
+from .ast_nodes import Program, FunctionDef
+from .parser import MiniCSyntaxError, parse_minic
+from .lowering import (
+    LoweringError,
+    compile_function,
+    compile_program,
+    lower_function,
+    lower_program,
+)
+
+__all__ = [
+    "parse_minic",
+    "MiniCSyntaxError",
+    "Program",
+    "FunctionDef",
+    "LoweringError",
+    "lower_program",
+    "lower_function",
+    "compile_program",
+    "compile_function",
+]

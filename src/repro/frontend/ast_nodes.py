@@ -1,0 +1,174 @@
+"""Abstract syntax tree for MiniC, the small C-like frontend language.
+
+MiniC exists to play the role of ``clang -O0`` in the paper's pipeline: it
+gives the workloads a realistic source form, produces unoptimized
+alloca-based IR with debug metadata, and lets the Section 7 experiments
+speak about *source* variables and *source* lines.  The language has
+integer scalars, fixed-size local arrays, the usual arithmetic/comparison
+operators, ``if``/``while``/``for`` control flow, function calls and
+``return``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "Node",
+    "Program",
+    "FunctionDef",
+    "Block",
+    "VarDecl",
+    "Assign",
+    "IndexAssign",
+    "If",
+    "While",
+    "For",
+    "Return",
+    "Break",
+    "Continue",
+    "ExprStatement",
+    "Expression",
+    "IntLiteral",
+    "Name",
+    "Index",
+    "Unary",
+    "Binary",
+    "CallExpr",
+]
+
+
+@dataclass
+class Node:
+    """Base class for AST nodes; ``line`` is the 1-based source line."""
+
+    line: int = 0
+
+
+# ---------------------------------------------------------------------- #
+# Expressions.
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class Expression(Node):
+    pass
+
+
+@dataclass
+class IntLiteral(Expression):
+    value: int = 0
+
+
+@dataclass
+class Name(Expression):
+    name: str = ""
+
+
+@dataclass
+class Index(Expression):
+    array: str = ""
+    index: Optional[Expression] = None
+
+
+@dataclass
+class Unary(Expression):
+    op: str = ""
+    operand: Optional[Expression] = None
+
+
+@dataclass
+class Binary(Expression):
+    op: str = ""
+    lhs: Optional[Expression] = None
+    rhs: Optional[Expression] = None
+
+
+@dataclass
+class CallExpr(Expression):
+    callee: str = ""
+    args: List[Expression] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------- #
+# Statements.
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class Block(Node):
+    statements: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Node):
+    name: str = ""
+    array_size: Optional[int] = None
+    initializer: Optional[Expression] = None
+
+
+@dataclass
+class Assign(Node):
+    name: str = ""
+    value: Optional[Expression] = None
+
+
+@dataclass
+class IndexAssign(Node):
+    array: str = ""
+    index: Optional[Expression] = None
+    value: Optional[Expression] = None
+
+
+@dataclass
+class If(Node):
+    condition: Optional[Expression] = None
+    then_block: Optional[Block] = None
+    else_block: Optional[Block] = None
+
+
+@dataclass
+class While(Node):
+    condition: Optional[Expression] = None
+    body: Optional[Block] = None
+
+
+@dataclass
+class For(Node):
+    init: Optional[Node] = None
+    condition: Optional[Expression] = None
+    update: Optional[Node] = None
+    body: Optional[Block] = None
+
+
+@dataclass
+class Return(Node):
+    value: Optional[Expression] = None
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+@dataclass
+class ExprStatement(Node):
+    expression: Optional[Expression] = None
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str = ""
+    params: List[str] = field(default_factory=list)
+    body: Optional[Block] = None
+
+
+@dataclass
+class Program(Node):
+    functions: List[FunctionDef] = field(default_factory=list)

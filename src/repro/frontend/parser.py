@@ -1,0 +1,331 @@
+"""Lexer and recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .ast_nodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    CallExpr,
+    Continue,
+    ExprStatement,
+    Expression,
+    For,
+    FunctionDef,
+    If,
+    Index,
+    IndexAssign,
+    IntLiteral,
+    Name,
+    Program,
+    Return,
+    Unary,
+    VarDecl,
+    While,
+)
+
+__all__ = ["MiniCSyntaxError", "parse_minic"]
+
+
+class MiniCSyntaxError(SyntaxError):
+    """Raised for malformed MiniC source."""
+
+
+KEYWORDS = {"func", "var", "if", "else", "while", "for", "return", "break", "continue"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<number>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|==|!=|&&|\|\||<<|>>|[-+*/%<>=!&|^(){}\[\],;])
+  | (?P<newline>\n)
+  | (?P<space>[ \t\r]+)
+  | (?P<error>.)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass
+class Token:
+    kind: str   # "number", "ident", "keyword", "op", "eof"
+    text: str
+    line: int
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    line = 1
+    for match in _TOKEN_RE.finditer(source):
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "newline":
+            line += 1
+            continue
+        if kind in ("space", None):
+            continue
+        if kind == "comment":
+            line += text.count("\n")
+            continue
+        if kind == "error":
+            raise MiniCSyntaxError(f"line {line}: unexpected character {text!r}")
+        if kind == "ident" and text in KEYWORDS:
+            kind = "keyword"
+        tokens.append(Token(kind, text, line))
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------ #
+    # Token-stream helpers.
+    # ------------------------------------------------------------------ #
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def check(self, text: str) -> bool:
+        return self.peek().text == text
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        token = self.peek()
+        if token.text != text:
+            raise MiniCSyntaxError(
+                f"line {token.line}: expected {text!r}, found {token.text!r}"
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        token = self.peek()
+        if token.kind != "ident":
+            raise MiniCSyntaxError(
+                f"line {token.line}: expected identifier, found {token.text!r}"
+            )
+        return self.advance()
+
+    # ------------------------------------------------------------------ #
+    # Grammar.
+    # ------------------------------------------------------------------ #
+    def parse_program(self) -> Program:
+        functions: List[FunctionDef] = []
+        while self.peek().kind != "eof":
+            functions.append(self.parse_function())
+        return Program(line=1, functions=functions)
+
+    def parse_function(self) -> FunctionDef:
+        start = self.expect("func")
+        name = self.expect_ident().text
+        self.expect("(")
+        params: List[str] = []
+        if not self.check(")"):
+            params.append(self.expect_ident().text)
+            while self.accept(","):
+                params.append(self.expect_ident().text)
+        self.expect(")")
+        body = self.parse_block()
+        return FunctionDef(line=start.line, name=name, params=params, body=body)
+
+    def parse_block(self) -> Block:
+        start = self.expect("{")
+        statements: List = []
+        while not self.check("}"):
+            statements.append(self.parse_statement())
+        self.expect("}")
+        return Block(line=start.line, statements=statements)
+
+    def parse_statement(self):
+        token = self.peek()
+        if token.text == "var":
+            return self.parse_var_decl()
+        if token.text == "if":
+            return self.parse_if()
+        if token.text == "while":
+            return self.parse_while()
+        if token.text == "for":
+            return self.parse_for()
+        if token.text == "return":
+            self.advance()
+            value = None if self.check(";") else self.parse_expression()
+            self.expect(";")
+            return Return(line=token.line, value=value)
+        if token.text == "break":
+            self.advance()
+            self.expect(";")
+            return Break(line=token.line)
+        if token.text == "continue":
+            self.advance()
+            self.expect(";")
+            return Continue(line=token.line)
+        if token.text == "{":
+            return self.parse_block()
+        statement = self.parse_simple_statement()
+        self.expect(";")
+        return statement
+
+    def parse_simple_statement(self):
+        """An assignment, indexed assignment or expression statement (no ';')."""
+        token = self.peek()
+        if token.kind == "ident":
+            next_token = self.tokens[self.pos + 1]
+            if next_token.text == "=":
+                name = self.advance().text
+                self.advance()  # '='
+                value = self.parse_expression()
+                return Assign(line=token.line, name=name, value=value)
+            if next_token.text == "[":
+                # Could be an indexed assignment or an indexed read in an
+                # expression statement; look ahead for '=' after the ']'.
+                save = self.pos
+                name = self.advance().text
+                self.advance()  # '['
+                index = self.parse_expression()
+                self.expect("]")
+                if self.accept("="):
+                    value = self.parse_expression()
+                    return IndexAssign(line=token.line, array=name, index=index, value=value)
+                self.pos = save
+        expression = self.parse_expression()
+        return ExprStatement(line=token.line, expression=expression)
+
+    def parse_var_decl(self) -> VarDecl:
+        start = self.expect("var")
+        name = self.expect_ident().text
+        array_size: Optional[int] = None
+        initializer: Optional[Expression] = None
+        if self.accept("["):
+            size_token = self.peek()
+            if size_token.kind != "number":
+                raise MiniCSyntaxError(
+                    f"line {size_token.line}: array size must be a literal"
+                )
+            array_size = int(self.advance().text)
+            self.expect("]")
+        if self.accept("="):
+            initializer = self.parse_expression()
+        self.expect(";")
+        return VarDecl(
+            line=start.line, name=name, array_size=array_size, initializer=initializer
+        )
+
+    def parse_if(self) -> If:
+        start = self.expect("if")
+        self.expect("(")
+        condition = self.parse_expression()
+        self.expect(")")
+        then_block = self.parse_block()
+        else_block: Optional[Block] = None
+        if self.accept("else"):
+            if self.check("if"):
+                nested = self.parse_if()
+                else_block = Block(line=nested.line, statements=[nested])
+            else:
+                else_block = self.parse_block()
+        return If(line=start.line, condition=condition, then_block=then_block, else_block=else_block)
+
+    def parse_while(self) -> While:
+        start = self.expect("while")
+        self.expect("(")
+        condition = self.parse_expression()
+        self.expect(")")
+        body = self.parse_block()
+        return While(line=start.line, condition=condition, body=body)
+
+    def parse_for(self) -> For:
+        start = self.expect("for")
+        self.expect("(")
+        init = None if self.check(";") else self.parse_simple_statement()
+        self.expect(";")
+        condition = None if self.check(";") else self.parse_expression()
+        self.expect(";")
+        update = None if self.check(")") else self.parse_simple_statement()
+        self.expect(")")
+        body = self.parse_block()
+        return For(line=start.line, init=init, condition=condition, update=update, body=body)
+
+    # ------------------------------------------------------------------ #
+    # Expressions (precedence climbing).
+    # ------------------------------------------------------------------ #
+    _PRECEDENCE = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def parse_expression(self, level: int = 0) -> Expression:
+        if level >= len(self._PRECEDENCE):
+            return self.parse_unary()
+        lhs = self.parse_expression(level + 1)
+        while self.peek().text in self._PRECEDENCE[level]:
+            op_token = self.advance()
+            rhs = self.parse_expression(level + 1)
+            lhs = Binary(line=op_token.line, op=op_token.text, lhs=lhs, rhs=rhs)
+        return lhs
+
+    def parse_unary(self) -> Expression:
+        token = self.peek()
+        if token.text in ("-", "!"):
+            self.advance()
+            operand = self.parse_unary()
+            return Unary(line=token.line, op=token.text, operand=operand)
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expression:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            return IntLiteral(line=token.line, value=int(token.text))
+        if token.text == "(":
+            self.advance()
+            expression = self.parse_expression()
+            self.expect(")")
+            return expression
+        if token.kind == "ident":
+            name = self.advance().text
+            if self.accept("("):
+                args: List[Expression] = []
+                if not self.check(")"):
+                    args.append(self.parse_expression())
+                    while self.accept(","):
+                        args.append(self.parse_expression())
+                self.expect(")")
+                return CallExpr(line=token.line, callee=name, args=args)
+            if self.accept("["):
+                index = self.parse_expression()
+                self.expect("]")
+                return Index(line=token.line, array=name, index=index)
+            return Name(line=token.line, name=name)
+        raise MiniCSyntaxError(
+            f"line {token.line}: unexpected token {token.text!r} in expression"
+        )
+
+
+def parse_minic(source: str) -> Program:
+    """Parse MiniC source text into an AST."""
+    return _Parser(tokenize(source)).parse_program()

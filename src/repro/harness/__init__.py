@@ -1,0 +1,27 @@
+"""Experiment harness: one driver per table/figure of the paper's evaluation."""
+
+from .experiments import (
+    build_version_pairs,
+    figure7_optimizing_osr,
+    figure8_deoptimizing_osr,
+    figure9_recoverability,
+    render_rows,
+    table1_pass_instrumentation,
+    table2_ir_features,
+    table3_compensation_size,
+    table4_endangered_functions,
+    table5_keep_sets,
+)
+
+__all__ = [
+    "render_rows",
+    "build_version_pairs",
+    "table1_pass_instrumentation",
+    "table2_ir_features",
+    "figure7_optimizing_osr",
+    "figure8_deoptimizing_osr",
+    "table3_compensation_size",
+    "table4_endangered_functions",
+    "figure9_recoverability",
+    "table5_keep_sets",
+]

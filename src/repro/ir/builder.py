@@ -1,0 +1,184 @@
+"""A small fluent builder for constructing IR functions programmatically.
+
+The builder keeps an *insertion point* (a block being filled in) and offers
+one method per instruction kind.  Workloads, tests and the MiniC lowering
+all construct IR through this class, which keeps construction-site code
+readable:
+
+    fb = FunctionBuilder("sum", ["n"])
+    entry, loop, done = fb.blocks("entry", "loop", "done")
+    fb.at(entry)
+    fb.assign("i", 0)
+    fb.assign("acc", 0)
+    fb.jump(loop)
+    fb.at(loop)
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .expr import BinOp, Const, Expr, UnOp, Var, as_expr
+from .function import BasicBlock, Function
+from .instructions import (
+    Abort,
+    Alloca,
+    Assign,
+    Branch,
+    Call,
+    Instruction,
+    Jump,
+    Load,
+    Nop,
+    Phi,
+    Return,
+    Store,
+)
+
+__all__ = ["FunctionBuilder"]
+
+
+class FunctionBuilder:
+    """Incrementally builds a :class:`~repro.ir.function.Function`."""
+
+    def __init__(self, name: str, params: Sequence[str] = ()) -> None:
+        self.function = Function(name, params)
+        self._current: Optional[BasicBlock] = None
+
+    # ------------------------------------------------------------------ #
+    # Blocks and insertion point.
+    # ------------------------------------------------------------------ #
+    def block(self, label: str) -> str:
+        """Create a new block and return its label."""
+        self.function.add_block(label)
+        return label
+
+    def blocks(self, *labels: str) -> Tuple[str, ...]:
+        """Create several blocks at once, in order."""
+        return tuple(self.block(label) for label in labels)
+
+    def at(self, label: str) -> "FunctionBuilder":
+        """Move the insertion point to the end of ``label``."""
+        self._current = self.function.block(label)
+        return self
+
+    @property
+    def current_label(self) -> str:
+        return self._block().label
+
+    def _block(self) -> BasicBlock:
+        if self._current is None:
+            raise RuntimeError("no insertion point set; call .at(label) first")
+        return self._current
+
+    def _emit(self, inst: Instruction) -> Instruction:
+        block = self._block()
+        if block.terminator is not None:
+            raise RuntimeError(
+                f"block {block.label} is already terminated; cannot append {inst}"
+            )
+        return block.append(inst)
+
+    # ------------------------------------------------------------------ #
+    # Expression helpers (pure convenience).
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def binop(op: str, lhs, rhs) -> BinOp:
+        return BinOp(op, as_expr(lhs), as_expr(rhs))
+
+    @staticmethod
+    def add(lhs, rhs) -> BinOp:
+        return BinOp("add", as_expr(lhs), as_expr(rhs))
+
+    @staticmethod
+    def sub(lhs, rhs) -> BinOp:
+        return BinOp("sub", as_expr(lhs), as_expr(rhs))
+
+    @staticmethod
+    def mul(lhs, rhs) -> BinOp:
+        return BinOp("mul", as_expr(lhs), as_expr(rhs))
+
+    @staticmethod
+    def div(lhs, rhs) -> BinOp:
+        return BinOp("div", as_expr(lhs), as_expr(rhs))
+
+    @staticmethod
+    def rem(lhs, rhs) -> BinOp:
+        return BinOp("rem", as_expr(lhs), as_expr(rhs))
+
+    @staticmethod
+    def lt(lhs, rhs) -> BinOp:
+        return BinOp("lt", as_expr(lhs), as_expr(rhs))
+
+    @staticmethod
+    def le(lhs, rhs) -> BinOp:
+        return BinOp("le", as_expr(lhs), as_expr(rhs))
+
+    @staticmethod
+    def gt(lhs, rhs) -> BinOp:
+        return BinOp("gt", as_expr(lhs), as_expr(rhs))
+
+    @staticmethod
+    def ge(lhs, rhs) -> BinOp:
+        return BinOp("ge", as_expr(lhs), as_expr(rhs))
+
+    @staticmethod
+    def eq(lhs, rhs) -> BinOp:
+        return BinOp("eq", as_expr(lhs), as_expr(rhs))
+
+    @staticmethod
+    def ne(lhs, rhs) -> BinOp:
+        return BinOp("ne", as_expr(lhs), as_expr(rhs))
+
+    @staticmethod
+    def neg(value) -> UnOp:
+        return UnOp("neg", as_expr(value))
+
+    @staticmethod
+    def not_(value) -> UnOp:
+        return UnOp("not", as_expr(value))
+
+    # ------------------------------------------------------------------ #
+    # Instructions.
+    # ------------------------------------------------------------------ #
+    def assign(self, dest: str, expr) -> Assign:
+        return self._emit(Assign(dest, expr))  # type: ignore[return-value]
+
+    def load(self, dest: str, addr) -> Load:
+        return self._emit(Load(dest, addr))  # type: ignore[return-value]
+
+    def store(self, addr, value) -> Store:
+        return self._emit(Store(addr, value))  # type: ignore[return-value]
+
+    def alloca(self, dest: str, size: int = 1) -> Alloca:
+        return self._emit(Alloca(dest, size))  # type: ignore[return-value]
+
+    def call(self, dest: Optional[str], callee: str, args: Sequence = ()) -> Call:
+        return self._emit(Call(dest, callee, args))  # type: ignore[return-value]
+
+    def phi(self, dest: str, incoming) -> Phi:
+        return self._emit(Phi(dest, incoming))  # type: ignore[return-value]
+
+    def nop(self) -> Nop:
+        return self._emit(Nop())  # type: ignore[return-value]
+
+    def jump(self, target: str) -> Jump:
+        return self._emit(Jump(target))  # type: ignore[return-value]
+
+    def branch(self, cond, then_target: str, else_target: str) -> Branch:
+        return self._emit(Branch(cond, then_target, else_target))  # type: ignore[return-value]
+
+    def ret(self, value=None) -> Return:
+        return self._emit(Return(value))  # type: ignore[return-value]
+
+    def abort(self) -> Abort:
+        return self._emit(Abort())  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # Finalization.
+    # ------------------------------------------------------------------ #
+    def build(self) -> Function:
+        """Validate terminators and return the finished function."""
+        self.function.verify_has_terminators()
+        return self.function

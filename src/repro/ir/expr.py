@@ -1,0 +1,443 @@
+"""Expression trees for the repro IR.
+
+Expressions are pure (side-effect free) value computations.  They appear as
+the right-hand side of :class:`~repro.ir.instructions.Assign`, as branch
+conditions, as call arguments and as address operands of memory
+instructions.  An expression is a tree whose leaves are constants
+(:class:`Const`) and virtual registers (:class:`Var`); inner nodes are
+unary and binary operators.
+
+Expressions are immutable and hashable, which lets analyses (e.g. common
+subexpression elimination, available-expression analysis) use them directly
+as dictionary keys.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterator, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "UnOp",
+    "BinOp",
+    "Undef",
+    "BINARY_OPS",
+    "UNARY_OPS",
+    "evaluate",
+    "free_vars",
+    "substitute",
+    "rename_vars",
+    "is_constant_expr",
+    "fold_constants",
+    "expr_size",
+    "walk",
+]
+
+
+def _int_div(a: int, b: int) -> int:
+    """Truncating integer division (C semantics rather than Python floor)."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in IR expression")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _int_rem(a: int, b: int) -> int:
+    """Remainder matching truncating division (sign follows the dividend)."""
+    if b == 0:
+        raise ZeroDivisionError("remainder by zero in IR expression")
+    return a - _int_div(a, b) * b
+
+
+#: Binary operators supported by the IR, mapped to their integer semantics.
+BINARY_OPS: Dict[str, Callable[[int, int], int]] = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": _int_div,
+    "rem": _int_rem,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << (b & 63),
+    "shr": lambda a, b: a >> (b & 63),
+    "eq": lambda a, b: int(a == b),
+    "ne": lambda a, b: int(a != b),
+    "lt": lambda a, b: int(a < b),
+    "le": lambda a, b: int(a <= b),
+    "gt": lambda a, b: int(a > b),
+    "ge": lambda a, b: int(a >= b),
+    "min": lambda a, b: min(a, b),
+    "max": lambda a, b: max(a, b),
+}
+
+#: Unary operators supported by the IR.
+UNARY_OPS: Dict[str, Callable[[int], int]] = {
+    "neg": lambda a: -a,
+    "not": lambda a: int(a == 0),
+    "abs": lambda a: abs(a),
+}
+
+#: Infix spellings accepted by the textual parser and used by the printer.
+INFIX_SPELLINGS: Dict[str, str] = {
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "div": "/",
+    "rem": "%",
+    "and": "&",
+    "or": "|",
+    "xor": "^",
+    "shl": "<<",
+    "shr": ">>",
+    "eq": "==",
+    "ne": "!=",
+    "lt": "<",
+    "le": "<=",
+    "gt": ">",
+    "ge": ">=",
+}
+
+SPELLING_TO_OP: Dict[str, str] = {v: k for k, v in INFIX_SPELLINGS.items()}
+
+#: Commutative binary operators — used by CSE / value numbering to
+#: canonicalize operand order.
+COMMUTATIVE_OPS: FrozenSet[str] = frozenset(
+    {"add", "mul", "and", "or", "xor", "eq", "ne", "min", "max"}
+)
+
+
+class Expr:
+    """Base class for IR expressions.
+
+    Subclasses are immutable value objects: equality and hashing are
+    structural, so two separately-built ``x + 1`` expressions compare
+    equal.
+    """
+
+    __slots__ = ()
+
+    def operands(self) -> Tuple["Expr", ...]:
+        """Return the direct sub-expressions of this node."""
+        return ()
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __hash__(self) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class Const(Expr):
+    """An integer literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        if isinstance(value, bool):
+            value = int(value)
+        if not isinstance(value, int):
+            raise TypeError(f"Const value must be an int, got {value!r}")
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Const is immutable")
+
+    def __repr__(self) -> str:
+        return f"Const({self.value})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("Const", self.value))
+
+
+class Var(Expr):
+    """A reference to a virtual register (an IR variable)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not isinstance(name, str) or not name:
+            raise TypeError(f"Var name must be a non-empty string, got {name!r}")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Var is immutable")
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Var", self.name))
+
+
+class Undef(Expr):
+    """An explicitly undefined value.
+
+    ``Undef`` appears when out-of-SSA lowering or speculative passes need a
+    placeholder; evaluating it raises, which surfaces bugs instead of
+    silently computing with garbage.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Undef()"
+
+    def __str__(self) -> str:
+        return "undef"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Undef)
+
+    def __hash__(self) -> int:
+        return hash("Undef")
+
+
+class UnOp(Expr):
+    """A unary operator applied to a sub-expression."""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr) -> None:
+        if op not in UNARY_OPS:
+            raise ValueError(f"unknown unary operator {op!r}")
+        if not isinstance(operand, Expr):
+            raise TypeError(f"operand must be an Expr, got {operand!r}")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("UnOp is immutable")
+
+    def operands(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"UnOp({self.op!r}, {self.operand!r})"
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.operand})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, UnOp)
+            and other.op == self.op
+            and other.operand == self.operand
+        )
+
+    def __hash__(self) -> int:
+        return hash(("UnOp", self.op, self.operand))
+
+
+class BinOp(Expr):
+    """A binary operator applied to two sub-expressions."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr) -> None:
+        if op not in BINARY_OPS:
+            raise ValueError(f"unknown binary operator {op!r}")
+        if not isinstance(lhs, Expr) or not isinstance(rhs, Expr):
+            raise TypeError("BinOp operands must be Expr instances")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "lhs", lhs)
+        object.__setattr__(self, "rhs", rhs)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("BinOp is immutable")
+
+    def operands(self) -> Tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.op!r}, {self.lhs!r}, {self.rhs!r})"
+
+    def __str__(self) -> str:
+        spelling = INFIX_SPELLINGS.get(self.op)
+        if spelling is None:
+            return f"{self.op}({self.lhs}, {self.rhs})"
+        return f"({self.lhs} {spelling} {self.rhs})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BinOp)
+            and other.op == self.op
+            and other.lhs == self.lhs
+            and other.rhs == self.rhs
+        )
+
+    def __hash__(self) -> int:
+        return hash(("BinOp", self.op, self.lhs, self.rhs))
+
+
+ExprLike = Union[Expr, int, str]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce an int (→ :class:`Const`), str (→ :class:`Var`) or Expr."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool) or isinstance(value, int):
+        return Const(int(value))
+    if isinstance(value, str):
+        return Var(value)
+    raise TypeError(f"cannot convert {value!r} to an expression")
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and all of its sub-expressions in pre-order."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.operands()))
+
+
+def free_vars(expr: Expr) -> FrozenSet[str]:
+    """Return the set of variable names occurring in ``expr``.
+
+    This is the ``freevar`` predicate of the paper (Section 2.2) lifted to
+    return the whole set at once.
+    """
+    return frozenset(node.name for node in walk(expr) if isinstance(node, Var))
+
+
+def is_constant_expr(expr: Expr) -> bool:
+    """True iff ``expr`` contains no variables (and no ``undef``)."""
+    for node in walk(expr):
+        if isinstance(node, (Var, Undef)):
+            return False
+    return True
+
+
+def expr_size(expr: Expr) -> int:
+    """Number of nodes in the expression tree."""
+    return sum(1 for _ in walk(expr))
+
+
+def evaluate(expr: Expr, env: Mapping[str, int]) -> int:
+    """Evaluate ``expr`` in an environment mapping variable names to ints.
+
+    Raises ``KeyError`` for unbound variables and ``ValueError`` when an
+    ``undef`` value is reached; both conditions indicate either an
+    ill-formed program or a miscompiled transformation, so failing loudly
+    is the correct behaviour for a reference evaluator.
+    """
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        value = env.get(expr.name)
+        if value is None:
+            raise KeyError(f"variable {expr.name!r} is undefined")
+        return value
+    if isinstance(expr, UnOp):
+        return UNARY_OPS[expr.op](evaluate(expr.operand, env))
+    if isinstance(expr, BinOp):
+        return BINARY_OPS[expr.op](evaluate(expr.lhs, env), evaluate(expr.rhs, env))
+    if isinstance(expr, Undef):
+        raise ValueError("evaluated an undef value")
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def substitute(expr: Expr, mapping: Mapping[str, Expr]) -> Expr:
+    """Return ``expr`` with every ``Var(x)`` for ``x`` in ``mapping`` replaced.
+
+    The replacement expressions are inserted as-is (no capture issues exist
+    because IR expressions have no binders).
+    """
+    if isinstance(expr, Var):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, (Const, Undef)):
+        return expr
+    if isinstance(expr, UnOp):
+        operand = substitute(expr.operand, mapping)
+        return expr if operand is expr.operand else UnOp(expr.op, operand)
+    if isinstance(expr, BinOp):
+        lhs = substitute(expr.lhs, mapping)
+        rhs = substitute(expr.rhs, mapping)
+        if lhs is expr.lhs and rhs is expr.rhs:
+            return expr
+        return BinOp(expr.op, lhs, rhs)
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def rename_vars(expr: Expr, renaming: Mapping[str, str]) -> Expr:
+    """Rename variables in ``expr`` according to ``renaming``."""
+    return substitute(expr, {old: Var(new) for old, new in renaming.items()})
+
+
+def fold_constants(expr: Expr) -> Expr:
+    """Constant-fold ``expr`` bottom-up, returning a simplified expression.
+
+    Folding is purely structural: it never consults an environment, so the
+    result is equivalent to the input on every store.  Division/remainder
+    by a literal zero is left untouched (the trap is preserved).
+    """
+    if isinstance(expr, (Const, Var, Undef)):
+        return expr
+    if isinstance(expr, UnOp):
+        operand = fold_constants(expr.operand)
+        if isinstance(operand, Const):
+            return Const(UNARY_OPS[expr.op](operand.value))
+        return UnOp(expr.op, operand) if operand is not expr.operand else expr
+    if isinstance(expr, BinOp):
+        lhs = fold_constants(expr.lhs)
+        rhs = fold_constants(expr.rhs)
+        if isinstance(lhs, Const) and isinstance(rhs, Const):
+            if expr.op in ("div", "rem") and rhs.value == 0:
+                pass  # preserve the trapping operation
+            else:
+                return Const(BINARY_OPS[expr.op](lhs.value, rhs.value))
+        # Algebraic identities that never change semantics.
+        if isinstance(rhs, Const):
+            if expr.op == "add" and rhs.value == 0:
+                return lhs
+            if expr.op == "sub" and rhs.value == 0:
+                return lhs
+            if expr.op == "mul" and rhs.value == 1:
+                return lhs
+            if expr.op == "div" and rhs.value == 1:
+                return lhs
+        if isinstance(lhs, Const):
+            if expr.op == "add" and lhs.value == 0:
+                return rhs
+            if expr.op == "mul" and lhs.value == 1:
+                return rhs
+        if lhs is expr.lhs and rhs is expr.rhs:
+            return expr
+        return BinOp(expr.op, lhs, rhs)
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def canonical_expr(expr: Expr) -> Expr:
+    """Canonicalize the operand order of commutative operators.
+
+    Used by value-numbering style analyses so that ``a + b`` and ``b + a``
+    map to the same key.  Ordering is by the string rendering, which is
+    stable and total for our immutable expression nodes.
+    """
+    if isinstance(expr, (Const, Var, Undef)):
+        return expr
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, canonical_expr(expr.operand))
+    if isinstance(expr, BinOp):
+        lhs = canonical_expr(expr.lhs)
+        rhs = canonical_expr(expr.rhs)
+        if expr.op in COMMUTATIVE_OPS and str(rhs) < str(lhs):
+            lhs, rhs = rhs, lhs
+        return BinOp(expr.op, lhs, rhs)
+    raise TypeError(f"unknown expression node {expr!r}")

@@ -1,0 +1,300 @@
+"""Textual parser for the repro IR.
+
+The accepted syntax is exactly what :mod:`repro.ir.printer` produces, so
+``parse_module(print_module(m))`` round-trips.  The format is line
+oriented::
+
+    func @sum(n) {
+    entry:
+      i = 0
+      acc = 0
+      jmp loop
+    loop:
+      i2 = phi [entry: i, body: i3]
+      acc2 = phi [entry: acc, body: acc3]
+      c = (i2 < n)
+      br c ? body : exit
+    body:
+      acc3 = (acc2 + i2)
+      i3 = (i2 + 1)
+      jmp loop
+    exit:
+      ret acc2
+    }
+
+Expressions use infix operators with conventional precedence; parentheses
+are accepted but not required.  Identifiers may contain letters, digits,
+underscores, dots and a leading ``%``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .expr import BinOp, Const, Expr, UnOp, Undef, Var, SPELLING_TO_OP, UNARY_OPS
+from .function import Function, Module
+from .instructions import (
+    Abort,
+    Alloca,
+    Assign,
+    Branch,
+    Call,
+    Jump,
+    Load,
+    Nop,
+    Phi,
+    Return,
+    Store,
+)
+
+__all__ = ["ParseError", "parse_module", "parse_function", "parse_expr"]
+
+
+class ParseError(ValueError):
+    """Raised when the textual IR is malformed."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None) -> None:
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>-?\d+)|(?P<ident>[%@]?[A-Za-z_][A-Za-z_0-9.]*)"
+    r"|(?P<op><<|>>|<=|>=|==|!=|[-+*/%&|^<>()?:,\[\]=])"
+    r")"
+)
+
+_BINARY_PRECEDENCE: List[Tuple[str, ...]] = [
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class _ExprTokens:
+    """A tiny token stream over an expression string."""
+
+    def __init__(self, text: str) -> None:
+        self.tokens: List[str] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                if text[pos:].strip():
+                    raise ParseError(f"cannot tokenize expression {text[pos:]!r}")
+                break
+            token = match.group("num") or match.group("ident") or match.group("op")
+            self.tokens.append(token)
+            pos = match.end()
+        self.index = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of expression")
+        self.index += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise ParseError(f"expected {token!r}, got {got!r}")
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def _parse_primary(tokens: _ExprTokens) -> Expr:
+    token = tokens.next()
+    if token == "(":
+        expr = _parse_binary(tokens, 0)
+        tokens.expect(")")
+        return expr
+    if token == "-":
+        operand = _parse_primary(tokens)
+        if isinstance(operand, Const):
+            return Const(-operand.value)
+        return UnOp("neg", operand)
+    if re.fullmatch(r"-?\d+", token):
+        return Const(int(token))
+    if token == "undef":
+        return Undef()
+    if token in UNARY_OPS and tokens.peek() == "(":
+        tokens.expect("(")
+        operand = _parse_binary(tokens, 0)
+        tokens.expect(")")
+        return UnOp(token, operand)
+    if re.fullmatch(r"[%@]?[A-Za-z_][A-Za-z_0-9.]*", token):
+        # Prefix binary spelling, e.g. min(a, b).
+        if tokens.peek() == "(" and token in ("min", "max"):
+            tokens.expect("(")
+            lhs = _parse_binary(tokens, 0)
+            tokens.expect(",")
+            rhs = _parse_binary(tokens, 0)
+            tokens.expect(")")
+            return BinOp(token, lhs, rhs)
+        return Var(token)
+    raise ParseError(f"unexpected token {token!r} in expression")
+
+
+def _parse_binary(tokens: _ExprTokens, level: int) -> Expr:
+    if level >= len(_BINARY_PRECEDENCE):
+        return _parse_primary(tokens)
+    lhs = _parse_binary(tokens, level + 1)
+    while tokens.peek() in _BINARY_PRECEDENCE[level]:
+        spelling = tokens.next()
+        rhs = _parse_binary(tokens, level + 1)
+        lhs = BinOp(SPELLING_TO_OP[spelling], lhs, rhs)
+    return lhs
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a standalone expression string."""
+    tokens = _ExprTokens(text)
+    expr = _parse_binary(tokens, 0)
+    if not tokens.at_end():
+        raise ParseError(f"trailing tokens after expression: {tokens.tokens[tokens.index:]}")
+    return expr
+
+
+_FUNC_HEADER_RE = re.compile(r"func\s+@([A-Za-z_][A-Za-z_0-9.]*)\s*\(([^)]*)\)\s*\{")
+_LABEL_RE = re.compile(r"([A-Za-z_][A-Za-z_0-9.]*):\s*$")
+_CALL_RE = re.compile(
+    r"(?:([%A-Za-z_][A-Za-z_0-9.]*)\s*=\s*)?call\s+@([A-Za-z_][A-Za-z_0-9.]*)\s*\((.*)\)\s*$"
+)
+_PHI_RE = re.compile(r"([%A-Za-z_][A-Za-z_0-9.]*)\s*=\s*phi\s*\[(.*)\]\s*$")
+_BRANCH_RE = re.compile(r"br\s+(.+)\?\s*([A-Za-z_][A-Za-z_0-9.]*)\s*:\s*([A-Za-z_][A-Za-z_0-9.]*)\s*$")
+
+
+def _split_top_level_commas(text: str) -> List[str]:
+    """Split on commas that are not nested inside parentheses or brackets."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_instruction(line: str, line_no: int):
+    """Parse a single instruction line (label lines handled by the caller)."""
+    text = line.strip()
+    if text == "nop":
+        return Nop()
+    if text == "abort":
+        return Abort()
+    if text == "ret":
+        return Return(None)
+    if text.startswith("ret "):
+        return Return(parse_expr(text[4:]))
+    if text.startswith("jmp "):
+        return Jump(text[4:].strip())
+    branch_match = _BRANCH_RE.match(text)
+    if branch_match:
+        cond, then_target, else_target = branch_match.groups()
+        return Branch(parse_expr(cond), then_target, else_target)
+    if text.startswith("store "):
+        parts = _split_top_level_commas(text[len("store "):])
+        if len(parts) != 2:
+            raise ParseError("store expects exactly two operands", line_no)
+        return Store(parse_expr(parts[0]), parse_expr(parts[1]))
+    call_match = _CALL_RE.match(text)
+    if call_match:
+        dest, callee, args_text = call_match.groups()
+        args = [parse_expr(a) for a in _split_top_level_commas(args_text)]
+        return Call(dest, callee, args)
+    phi_match = _PHI_RE.match(text)
+    if phi_match:
+        dest, entries_text = phi_match.groups()
+        incoming: Dict[str, Expr] = {}
+        for entry in _split_top_level_commas(entries_text):
+            if ":" not in entry:
+                raise ParseError(f"malformed phi entry {entry!r}", line_no)
+            label, value = entry.split(":", 1)
+            incoming[label.strip()] = parse_expr(value)
+        return Phi(dest, incoming)
+    if "=" in text:
+        dest, rhs = text.split("=", 1)
+        dest = dest.strip()
+        rhs = rhs.strip()
+        if not re.fullmatch(r"[%A-Za-z_][A-Za-z_0-9.]*", dest):
+            raise ParseError(f"bad destination {dest!r}", line_no)
+        if rhs.startswith("load "):
+            return Load(dest, parse_expr(rhs[len("load "):]))
+        if rhs.startswith("alloca"):
+            size_text = rhs[len("alloca"):].strip()
+            return Alloca(dest, int(size_text) if size_text else 1)
+        return Assign(dest, parse_expr(rhs))
+    raise ParseError(f"unrecognized instruction {text!r}", line_no)
+
+
+def parse_function(text: str) -> Function:
+    """Parse a single ``func @name(...) { ... }`` definition."""
+    module = parse_module(text)
+    if len(module) != 1:
+        raise ParseError(f"expected exactly one function, found {len(module)}")
+    return next(iter(module))
+
+
+def parse_module(text: str) -> Module:
+    """Parse a module containing zero or more function definitions."""
+    module = Module()
+    current_func: Optional[Function] = None
+    current_label: Optional[str] = None
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].rstrip()
+        stripped = line.strip()
+        if not stripped:
+            continue
+        header = _FUNC_HEADER_RE.match(stripped)
+        if header:
+            if current_func is not None:
+                raise ParseError("nested function definition", line_no)
+            name, params_text = header.groups()
+            params = [p.strip() for p in params_text.split(",") if p.strip()]
+            current_func = Function(name, params)
+            current_label = None
+            continue
+        if stripped == "}":
+            if current_func is None:
+                raise ParseError("unmatched '}'", line_no)
+            current_func.verify_has_terminators()
+            module.add(current_func)
+            current_func = None
+            current_label = None
+            continue
+        if current_func is None:
+            raise ParseError(f"instruction outside of a function: {stripped!r}", line_no)
+        label_match = _LABEL_RE.match(stripped)
+        if label_match:
+            current_label = label_match.group(1)
+            current_func.add_block(current_label)
+            continue
+        if current_label is None:
+            raise ParseError("instruction before the first block label", line_no)
+        inst = _parse_instruction(stripped, line_no)
+        current_func.block(current_label).append(inst)
+    if current_func is not None:
+        raise ParseError("unterminated function definition (missing '}')")
+    return module

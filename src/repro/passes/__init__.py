@@ -1,0 +1,67 @@
+"""OSR-aware optimization passes (Section 5.4).
+
+Each pass re-implements the behaviour of the corresponding LLVM pass the
+paper instruments, and reports every IR manipulation to a
+:class:`~repro.core.codemapper.CodeMapper` using the five primitive
+actions of Section 5.1.  ``standard_pipeline`` mirrors the pipeline the
+paper applies to produce ``f_opt`` from ``f_base``.
+"""
+
+from typing import List
+
+from .base import Pass, PassManager, PipelineResult
+from .adce import AggressiveDCE
+from .constprop import ConstantPropagationPass
+from .cse import CommonSubexpressionElimination
+from .licm import LoopInvariantCodeMotion
+from .loopcanon import LoopCanonicalization
+from .lcssa import LoopClosedSSA
+from .sccp import SparseConditionalConstantPropagation
+from .sink import CodeSinking
+
+__all__ = [
+    "Pass",
+    "PassManager",
+    "PipelineResult",
+    "AggressiveDCE",
+    "ConstantPropagationPass",
+    "CommonSubexpressionElimination",
+    "LoopInvariantCodeMotion",
+    "LoopCanonicalization",
+    "LoopClosedSSA",
+    "SparseConditionalConstantPropagation",
+    "CodeSinking",
+    "standard_pipeline",
+    "ALL_PASSES",
+]
+
+#: Every OSR-aware pass, keyed the way Table 1 names them.
+ALL_PASSES = {
+    "ADCE": AggressiveDCE,
+    "CP": ConstantPropagationPass,
+    "CSE": CommonSubexpressionElimination,
+    "LICM": LoopInvariantCodeMotion,
+    "SCCP": SparseConditionalConstantPropagation,
+    "Sink": CodeSinking,
+    "LC": LoopCanonicalization,
+    "LCSSA": LoopClosedSSA,
+}
+
+
+def standard_pipeline() -> List[Pass]:
+    """The optimization pipeline used to produce ``f_opt`` (Section 6.1).
+
+    Loop canonicalization and LCSSA run first (they are prerequisites for
+    LICM, as in LLVM), followed by the scalar optimizations; ADCE runs
+    last to clean up.
+    """
+    return [
+        LoopCanonicalization(),
+        LoopClosedSSA(),
+        LoopInvariantCodeMotion(),
+        CommonSubexpressionElimination(),
+        ConstantPropagationPass(),
+        SparseConditionalConstantPropagation(),
+        CodeSinking(),
+        AggressiveDCE(),
+    ]

@@ -1,0 +1,66 @@
+"""Aggressive dead code elimination (ADCE).
+
+Marks instructions that are *observably* required — stores, calls,
+terminators, returns, aborts and allocas — then transitively marks the
+definitions of every register those instructions use.  Everything left
+unmarked computes a value nobody can observe and is deleted.
+
+This is the OSR-aware analogue of LLVM's ADCE: every deletion is reported
+to the CodeMapper so compensation code can re-materialize the deleted
+values if a deoptimizing OSR needs them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set
+
+from ..core.codemapper import ActionKind, NullCodeMapper
+from ..ir.function import Function
+from ..ir.instructions import Instruction, Phi
+from .base import MapperLike, Pass
+
+__all__ = ["AggressiveDCE"]
+
+
+class AggressiveDCE(Pass):
+    """Delete pure instructions whose results are never (transitively) observed."""
+
+    name = "ADCE"
+    tracked_action_kinds = (ActionKind.DELETE,)
+
+    def run(self, function: Function, mapper: Optional[MapperLike] = None) -> bool:
+        mapper = mapper if mapper is not None else NullCodeMapper()
+
+        # Seed the liveness worklist with instructions that have effects the
+        # outside world can observe.
+        live: Set[int] = set()
+        worklist = deque()
+        defining: Dict[str, List[Instruction]] = {}
+        for _, inst in function.instructions():
+            for name in inst.defs():
+                defining.setdefault(name, []).append(inst)
+        for _, inst in function.instructions():
+            if inst.is_terminator or inst.has_side_effects():
+                live.add(inst.uid)
+                worklist.append(inst)
+
+        while worklist:
+            inst = worklist.popleft()
+            for name in inst.uses():
+                for producer in defining.get(name, []):
+                    if producer.uid not in live:
+                        live.add(producer.uid)
+                        worklist.append(producer)
+
+        changed = False
+        for block in function.iter_blocks():
+            survivors = []
+            for inst in block.instructions:
+                if inst.uid in live or inst.is_terminator:
+                    survivors.append(inst)
+                else:
+                    mapper.delete_instruction(inst)
+                    changed = True
+            block.instructions = survivors
+        return changed

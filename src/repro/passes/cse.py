@@ -1,0 +1,167 @@
+"""Common subexpression elimination (early-CSE style).
+
+Walks the dominator tree with a scoped value-numbering table:
+
+* pure assignments whose canonicalized right-hand side was already
+  computed by a dominating instruction are deleted, and their register is
+  replaced everywhere by the earlier one (a ``replace`` + ``delete`` pair
+  of primitive actions — compare the paper's Figure 6 excerpt);
+* copies (``x = y``) are forwarded the same way;
+* loads are value-numbered by address within a *memory generation*; any
+  store or call starts a new generation, which conservatively kills all
+  remembered loads (the "available load from right generation" check in
+  Figure 6).
+
+The pass requires SSA form (it relies on "the earlier definition dominates
+every use of the later one").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..cfg.dominance import DominatorTree
+from ..cfg.graph import ControlFlowGraph
+from ..core.codemapper import ActionKind, NullCodeMapper
+from ..ir.expr import Const, Expr, Var, canonical_expr, free_vars
+from ..ir.function import Function
+from ..ir.instructions import Assign, Call, Load, Phi, Store
+from ..ir.verify import is_ssa
+from .base import MapperLike, Pass
+
+__all__ = ["CommonSubexpressionElimination"]
+
+
+class _ScopedTable:
+    """A stack of dictionaries following the dominator-tree recursion."""
+
+    def __init__(self) -> None:
+        self._scopes: List[Dict[object, object]] = [{}]
+
+    def push(self) -> None:
+        self._scopes.append({})
+
+    def pop(self) -> None:
+        self._scopes.pop()
+
+    def lookup(self, key: object) -> Optional[object]:
+        for scope in reversed(self._scopes):
+            if key in scope:
+                return scope[key]
+        return None
+
+    def insert(self, key: object, value: object) -> None:
+        self._scopes[-1][key] = value
+
+
+class CommonSubexpressionElimination(Pass):
+    """Dominator-scoped value numbering for pure expressions and loads."""
+
+    name = "CSE"
+    tracked_action_kinds = (ActionKind.REPLACE, ActionKind.DELETE)
+
+    def run(self, function: Function, mapper: Optional[MapperLike] = None) -> bool:
+        mapper = mapper if mapper is not None else NullCodeMapper()
+        if not is_ssa(function):
+            return False
+
+        cfg = ControlFlowGraph(function)
+        domtree = DominatorTree(cfg)
+
+        expr_table = _ScopedTable()   # canonical Expr -> register name
+        load_table = _ScopedTable()   # (canonical addr Expr, generation) -> register
+        replacements: Dict[str, Expr] = {}
+        to_delete: List[Tuple[str, object]] = []  # (block label, instruction)
+        changed = False
+        generation = [0]
+
+        def process_block(label: str) -> int:
+            """Process one dominator-tree node; returns #scopes pushed."""
+            expr_table.push()
+            load_table.push()
+            block = function.blocks[label]
+            for inst in list(block.instructions):
+                # Apply pending replacements so later value numbering sees
+                # the canonical operands.
+                if replacements:
+                    inst.replace_uses(replacements)
+
+                if isinstance(inst, Assign):
+                    expr = inst.expr
+                    if isinstance(expr, Var):
+                        # Copy propagation: x = y.
+                        replacements[inst.dest] = expr
+                        mapper.replace_all_uses_with(inst.dest, expr, inst)
+                        mapper.delete_instruction(inst)
+                        to_delete.append((label, inst))
+                        continue
+                    if not free_vars(expr) and not isinstance(expr, Const):
+                        # Fully constant non-literal expressions are left to CP.
+                        continue
+                    key = canonical_expr(expr)
+                    if isinstance(key, (Const, Var)):
+                        continue
+                    existing = expr_table.lookup(key)
+                    if existing is not None:
+                        replacement = Var(str(existing))
+                        replacements[inst.dest] = replacement
+                        mapper.replace_all_uses_with(inst.dest, replacement, inst)
+                        mapper.delete_instruction(inst)
+                        to_delete.append((label, inst))
+                        continue
+                    expr_table.insert(key, inst.dest)
+                elif isinstance(inst, Load):
+                    key = (canonical_expr(inst.addr), generation[0])
+                    existing = load_table.lookup(key)
+                    if existing is not None:
+                        replacement = Var(str(existing))
+                        replacements[inst.dest] = replacement
+                        mapper.replace_all_uses_with(inst.dest, replacement, inst)
+                        mapper.delete_instruction(inst)
+                        to_delete.append((label, inst))
+                        continue
+                    load_table.insert(key, inst.dest)
+                elif isinstance(inst, (Store, Call)):
+                    # Conservatively invalidate remembered loads.
+                    generation[0] += 1
+            return 1
+
+        # Dominator-tree DFS with explicit scope management.
+        def dfs(label: str) -> None:
+            process_block(label)
+            for child in domtree.children.get(label, []):
+                dfs(child)
+            expr_table.pop()
+            load_table.pop()
+
+        dfs(function.entry_label)
+
+        # Apply the accumulated use replacements across the whole function
+        # (uses may appear in blocks not dominated by the deleted copy's
+        # block only for phis; SSA dominance makes the substitution sound).
+        if replacements:
+            final = _resolve_chains(replacements)
+            for _, inst in function.instructions():
+                inst.replace_uses(final)
+            changed = True
+
+        for label, inst in to_delete:
+            block = function.blocks[label]
+            if inst in block.instructions:
+                block.remove(inst)
+                changed = True
+
+        return changed
+
+
+def _resolve_chains(replacements: Dict[str, Expr]) -> Dict[str, Expr]:
+    """Collapse chains like ``a → b`` and ``b → c`` into ``a → c``."""
+    resolved: Dict[str, Expr] = {}
+    for name in replacements:
+        value = replacements[name]
+        seen = {name}
+        while isinstance(value, Var) and value.name in replacements and value.name not in seen:
+            seen.add(value.name)
+            value = replacements[value.name]
+        resolved[name] = value
+    return resolved

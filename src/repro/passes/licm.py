@@ -1,0 +1,107 @@
+"""Loop-invariant code motion (LICM).
+
+Hoists pure assignments whose operands are loop-invariant from a loop body
+into the loop's preheader.  Safety conditions:
+
+* the instruction is a pure ``Assign`` (no loads/stores/calls — the store
+  invariant of Section 5.3 is preserved trivially because memory
+  operations are never moved);
+* every operand is defined outside the loop or by an already-hoisted
+  instruction;
+* the defining block dominates every latch (so the instruction would have
+  executed on every iteration anyway), or its value is only used inside
+  the loop body it dominates — we use the conservative first condition;
+* the function is in SSA form, so hoisting cannot change which definition
+  reaches the uses.
+
+Every move is recorded as a ``hoist`` primitive action with the source and
+destination blocks, which is exactly the information the CodeMapper needs
+to exclude the instruction from point-correspondence anchoring and let
+``reconstruct`` re-materialize or reuse its value across OSR transitions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..cfg.dominance import DominatorTree
+from ..cfg.graph import ControlFlowGraph
+from ..cfg.loops import NaturalLoop, find_loops
+from ..core.codemapper import ActionKind, NullCodeMapper
+from ..ir.function import Function
+from ..ir.instructions import Assign, Instruction
+from ..ir.verify import is_ssa
+from .base import MapperLike, Pass
+
+__all__ = ["LoopInvariantCodeMotion"]
+
+
+class LoopInvariantCodeMotion(Pass):
+    """Hoist loop-invariant pure computations to loop preheaders."""
+
+    name = "LICM"
+    tracked_action_kinds = (ActionKind.HOIST,)
+
+    def run(self, function: Function, mapper: Optional[MapperLike] = None) -> bool:
+        mapper = mapper if mapper is not None else NullCodeMapper()
+        if not is_ssa(function):
+            return False
+
+        cfg = ControlFlowGraph(function)
+        domtree = DominatorTree(cfg)
+        loops = find_loops(cfg, domtree)
+        changed = False
+
+        # Innermost loops first so invariants bubble outward across passes.
+        for loop in sorted(loops, key=lambda l: -l.depth()):
+            if loop.preheader is None:
+                continue
+            changed |= self._hoist_from_loop(function, cfg, domtree, loop, mapper)
+        return changed
+
+    def _hoist_from_loop(
+        self,
+        function: Function,
+        cfg: ControlFlowGraph,
+        domtree: DominatorTree,
+        loop: NaturalLoop,
+        mapper: MapperLike,
+    ) -> bool:
+        assert loop.preheader is not None
+        preheader = function.blocks[loop.preheader]
+        changed = False
+
+        defined_in_loop: Set[str] = set()
+        for label in loop.body:
+            for inst in function.blocks[label].instructions:
+                defined_in_loop.update(inst.defs())
+
+        hoisted: Set[str] = set()
+        # Iterate until no more instructions can be hoisted: hoisting one
+        # invariant can make its users invariant too.
+        progress = True
+        while progress:
+            progress = False
+            for label in sorted(loop.body):
+                block = function.blocks[label]
+                for inst in list(block.instructions):
+                    if not isinstance(inst, Assign):
+                        continue
+                    if inst.dest in hoisted:
+                        continue
+                    operands = set(inst.uses())
+                    if operands & (defined_in_loop - hoisted):
+                        continue  # depends on a value still computed in the loop
+                    # The block must dominate every latch: the instruction
+                    # executes on every iteration, so executing it once in
+                    # the preheader is equivalent.
+                    if not all(domtree.dominates(label, latch) for latch in loop.latches):
+                        continue
+                    block.remove(inst)
+                    terminator_index = len(preheader.instructions) - 1
+                    preheader.insert(terminator_index, inst)
+                    mapper.hoist_instruction(inst, label, loop.preheader)
+                    hoisted.add(inst.dest)
+                    changed = True
+                    progress = True
+        return changed

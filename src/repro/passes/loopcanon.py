@@ -1,0 +1,99 @@
+"""Loop canonicalization (the analogue of LLVM's loop-simplify, "LC").
+
+Ensures every natural loop has a dedicated *preheader*: a block whose only
+successor is the loop header and which is the only out-of-loop predecessor
+of the header.  LICM hoists loop-invariant code into the preheader, so the
+canonicalization must run first (the paper augments LLVM's LC and LCSSA
+utility passes for the same reason).
+
+Creating a preheader inserts a new block and a jump, both reported as
+``add`` actions, and re-keys the header's phi nodes so the incoming values
+from outside the loop now flow through the preheader.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cfg.dominance import DominatorTree
+from ..cfg.graph import ControlFlowGraph
+from ..cfg.loops import find_loops
+from ..core.codemapper import ActionKind, NullCodeMapper
+from ..ir.function import Function
+from ..ir.instructions import Jump, Phi
+from .base import MapperLike, Pass
+
+__all__ = ["LoopCanonicalization"]
+
+
+class LoopCanonicalization(Pass):
+    """Give every natural loop a dedicated preheader block."""
+
+    name = "LC"
+    tracked_action_kinds = (ActionKind.ADD,)
+
+    def run(self, function: Function, mapper: Optional[MapperLike] = None) -> bool:
+        mapper = mapper if mapper is not None else NullCodeMapper()
+        changed = False
+
+        # Loops are re-discovered after each insertion because creating a
+        # preheader changes the CFG.
+        for _ in range(len(function.block_labels()) + 1):
+            cfg = ControlFlowGraph(function)
+            domtree = DominatorTree(cfg)
+            loops = find_loops(cfg, domtree)
+            candidate = next((loop for loop in loops if loop.preheader is None), None)
+            if candidate is None:
+                break
+            self._create_preheader(function, cfg, candidate.header, candidate.body, mapper)
+            changed = True
+        return changed
+
+    def _create_preheader(
+        self,
+        function: Function,
+        cfg: ControlFlowGraph,
+        header: str,
+        body: set,
+        mapper: MapperLike,
+    ) -> None:
+        outside_preds = [p for p in cfg.preds(header) if p not in body]
+        preheader_label = function.fresh_label(f"{header}.preheader")
+        # Insert the preheader right before the header in layout order so
+        # printed IR stays readable.
+        preheader = function.add_block(preheader_label)
+        jump = Jump(header)
+        preheader.append(jump)
+        mapper.add_instruction(jump, f"in new preheader {preheader_label}")
+
+        # Retarget all outside predecessors to the preheader.
+        retarget = {header: preheader_label}
+        for pred_label in outside_preds:
+            terminator = function.blocks[pred_label].terminator
+            if terminator is not None:
+                terminator.retarget(retarget)
+
+        # Header phis: fold the incoming values from outside predecessors
+        # into a single incoming value from the preheader.  With more than
+        # one outside predecessor a new phi would be needed in the
+        # preheader; our canonicalized workloads always have exactly one,
+        # and the general case is handled by inserting a forwarding phi.
+        for phi in function.blocks[header].phis():
+            outside_values = {
+                pred: phi.incoming[pred]
+                for pred in outside_preds
+                if pred in phi.incoming
+            }
+            for pred in outside_values:
+                del phi.incoming[pred]
+            if len(outside_values) == 1:
+                phi.incoming[preheader_label] = next(iter(outside_values.values()))
+            elif len(outside_values) > 1:
+                forward = Phi(
+                    function.fresh_temp(f"{phi.dest.strip('%')}.ph"), outside_values
+                )
+                preheader.insert(0, forward)
+                mapper.add_instruction(forward, f"forwarding phi in {preheader_label}")
+                from ..ir.expr import Var
+
+                phi.incoming[preheader_label] = Var(forward.dest)

@@ -1,0 +1,28 @@
+"""Rewrite rules with CTL side conditions and the transformation engine."""
+
+from .rule import RewriteRule, RuleApplication
+from .rules import (
+    FIGURE5_RULES,
+    CodeHoisting,
+    ConstantPropagation,
+    DeadCodeElimination,
+)
+from .engine import (
+    TransformationResult,
+    apply_rule,
+    apply_rules,
+    identity_point_mapping,
+)
+
+__all__ = [
+    "RewriteRule",
+    "RuleApplication",
+    "ConstantPropagation",
+    "DeadCodeElimination",
+    "CodeHoisting",
+    "FIGURE5_RULES",
+    "TransformationResult",
+    "apply_rule",
+    "apply_rules",
+    "identity_point_mapping",
+]

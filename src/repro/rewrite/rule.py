@@ -1,0 +1,92 @@
+"""Rewrite rules with CTL side conditions (Definitions 2.8 / 2.9).
+
+A rule transforms one or more instructions of a formal program *in place*
+(the program keeps its length and point numbering), subject to a side
+condition expressed with the CTL predicates of Figure 3.  This matches the
+paper's presentation, where the ``apply`` step for such rules returns the
+identity mapping between program points (Theorem 4.6).
+
+Rules report *applications*: concrete bindings of their meta-variables to
+program objects.  The engine (:mod:`repro.rewrite.engine`) picks
+applications, applies them and records which points changed, which is all
+``OSR_trans`` needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..formal.program import FormalInstruction, FormalProgram
+
+__all__ = ["RuleApplication", "RewriteRule"]
+
+
+@dataclass
+class RuleApplication:
+    """One concrete way a rule can fire.
+
+    ``replacements`` maps program points to the new instruction each will
+    receive; ``description`` is a human-readable rendering of the binding
+    (useful in experiment logs and test failure messages).
+    """
+
+    rule_name: str
+    replacements: Dict[int, FormalInstruction]
+    description: str = ""
+
+    def points(self) -> List[int]:
+        return sorted(self.replacements)
+
+
+class RewriteRule:
+    """Base class for Figure 5-style rewrite rules.
+
+    Subclasses implement :meth:`find_applications`; application is shared.
+    A rule must be *in-place*: it only replaces instructions at existing
+    points, never inserts or removes points.  This is what makes the
+    program-point mapping the identity and keeps the rules live-variable
+    equivalent (LVE) candidates.
+    """
+
+    name: str = "rule"
+
+    def find_applications(self, program: FormalProgram) -> List[RuleApplication]:
+        """All bindings at which the rule may fire on ``program``."""
+        raise NotImplementedError
+
+    def apply(self, program: FormalProgram, application: RuleApplication) -> FormalProgram:
+        """Return a new program with ``application``'s replacements performed."""
+        instructions = list(program.instructions)
+        for point, new_instruction in application.replacements.items():
+            instructions[point - 1] = new_instruction
+        return FormalProgram(instructions)
+
+    def apply_first(self, program: FormalProgram) -> Optional[Tuple[FormalProgram, RuleApplication]]:
+        """Apply the first available application, if any."""
+        applications = self.find_applications(program)
+        if not applications:
+            return None
+        application = applications[0]
+        return self.apply(program, application), application
+
+    def apply_exhaustively(
+        self, program: FormalProgram, *, max_applications: int = 1000
+    ) -> Tuple[FormalProgram, List[RuleApplication]]:
+        """Apply the rule until it no longer fires (or the budget is reached).
+
+        Applications are re-discovered after every rewrite because firing a
+        rule can enable or disable further applications.
+        """
+        applied: List[RuleApplication] = []
+        current = program
+        for _ in range(max_applications):
+            step = self.apply_first(current)
+            if step is None:
+                break
+            current, application = step
+            applied.append(application)
+        return current, applied
+
+    def __repr__(self) -> str:
+        return f"<RewriteRule {self.name}>"

@@ -1,0 +1,176 @@
+"""The three LVE transformations of Figure 5: CP, DCE and Hoist.
+
+Each rule enumerates candidate bindings of its meta-variables and checks
+the side condition with the CTL model checker, exactly as the paper's
+transformation engine "based on model checking" would.  All three rules
+are in-place (point numbering is preserved), semantics-preserving and
+live-variable equivalent; the test suite checks all three properties
+empirically and the OSR machinery relies on them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ctl.checker import FormalProgramGraph, ModelChecker
+from ..ctl.formula import AU, AX, BackAU, EU, Not, TRUE
+from ..ctl.predicates import (
+    formal_defines,
+    formal_point_is,
+    formal_stmt,
+    formal_trans,
+    formal_uses,
+)
+from ..formal.program import (
+    FAssign,
+    FSkip,
+    FormalProgram,
+)
+from ..ir.expr import Const, Expr, Var, free_vars, is_constant_expr, substitute
+from .rule import RewriteRule, RuleApplication
+
+__all__ = [
+    "ConstantPropagation",
+    "DeadCodeElimination",
+    "CodeHoisting",
+    "FIGURE5_RULES",
+]
+
+
+class ConstantPropagation(RewriteRule):
+    """Figure 5 — constant propagation (CP).
+
+    ``m : x := e[v]  ⟹  x := e[c]``
+    if ``conlit(c) ∧ m ⊨ ←A(¬def(v) U stmt(v := c))``
+
+    i.e. the use of ``v`` at ``m`` is only reached by the single constant
+    definition ``v := c``, so ``v`` can be replaced by the literal ``c``.
+    """
+
+    name = "CP"
+
+    def find_applications(self, program: FormalProgram) -> List[RuleApplication]:
+        graph = FormalProgramGraph(program)
+        checker = ModelChecker(graph)
+        applications: List[RuleApplication] = []
+
+        # Candidate constant definitions v := c.
+        constant_defs: List[tuple] = []
+        for point in program.points():
+            inst = program[point]
+            if isinstance(inst, FAssign) and is_constant_expr(inst.expr):
+                constant_defs.append((point, inst.dest, inst.expr))
+
+        for m in program.points():
+            inst = program[m]
+            if not isinstance(inst, FAssign):
+                continue
+            used = free_vars(inst.expr)
+            for def_point, v, c in constant_defs:
+                if v not in used or def_point == m:
+                    continue
+                side_condition = BackAU(
+                    Not(formal_defines(program, v)),
+                    formal_stmt(program, FAssign(v, c)),
+                )
+                if not checker.holds_at(m, side_condition):
+                    continue
+                new_expr = substitute(inst.expr, {v: c})
+                if new_expr == inst.expr:
+                    continue
+                applications.append(
+                    RuleApplication(
+                        rule_name=self.name,
+                        replacements={m: FAssign(inst.dest, new_expr)},
+                        description=f"propagate {v} := {c} (from {def_point}) into point {m}",
+                    )
+                )
+        return applications
+
+
+class DeadCodeElimination(RewriteRule):
+    """Figure 5 — dead code elimination (DCE).
+
+    ``m : x := e  ⟹  skip``
+    if ``m ⊨ AX ¬E(true U use(x))``
+
+    i.e. no path starting after ``m`` ever uses ``x``, so the assignment
+    is dead and can be replaced by ``skip``.
+    """
+
+    name = "DCE"
+
+    def find_applications(self, program: FormalProgram) -> List[RuleApplication]:
+        graph = FormalProgramGraph(program)
+        checker = ModelChecker(graph)
+        applications: List[RuleApplication] = []
+        for m in program.points():
+            inst = program[m]
+            if not isinstance(inst, FAssign):
+                continue
+            side_condition = AX(Not(EU(TRUE, formal_uses(program, inst.dest))))
+            if checker.holds_at(m, side_condition):
+                applications.append(
+                    RuleApplication(
+                        rule_name=self.name,
+                        replacements={m: FSkip()},
+                        description=f"delete dead assignment to {inst.dest} at point {m}",
+                    )
+                )
+        return applications
+
+
+class CodeHoisting(RewriteRule):
+    """Figure 5 — code hoisting (Hoist).
+
+    ``p : skip ⟹ x := e``  and  ``q : x := e ⟹ skip``
+    if ``p ⊨ A(¬use(x) U point(q))`` and
+    ``q ⊨ ←A((¬def(x) ∨ point(q)) ∧ trans(e) U point(p))``
+
+    i.e. the assignment at ``q`` can be moved up to the ``skip`` slot at
+    ``p`` because along every path between them ``x`` is not used, ``x`` is
+    not redefined and no constituent of ``e`` changes.
+    """
+
+    name = "Hoist"
+
+    def find_applications(self, program: FormalProgram) -> List[RuleApplication]:
+        graph = FormalProgramGraph(program)
+        checker = ModelChecker(graph)
+        applications: List[RuleApplication] = []
+
+        skip_points = [m for m in program.points() if isinstance(program[m], FSkip)]
+        assign_points = [m for m in program.points() if isinstance(program[m], FAssign)]
+
+        for q in assign_points:
+            assign = program[q]
+            assert isinstance(assign, FAssign)
+            x, e = assign.dest, assign.expr
+            for p in skip_points:
+                if p == q:
+                    continue
+                forward_ok = AU(
+                    Not(formal_uses(program, x)),
+                    formal_point_is(q),
+                )
+                backward_ok = BackAU(
+                    (Not(formal_defines(program, x)) | formal_point_is(q))
+                    & formal_trans(program, e),
+                    formal_point_is(p),
+                )
+                if not checker.holds_at(p, forward_ok):
+                    continue
+                if not checker.holds_at(q, backward_ok):
+                    continue
+                applications.append(
+                    RuleApplication(
+                        rule_name=self.name,
+                        replacements={p: FAssign(x, e), q: FSkip()},
+                        description=f"hoist '{assign}' from point {q} to point {p}",
+                    )
+                )
+        return applications
+
+
+#: The rule set of Figure 5, in the order the paper lists them.
+FIGURE5_RULES = (ConstantPropagation(), DeadCodeElimination(), CodeHoisting())

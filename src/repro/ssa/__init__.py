@@ -1,0 +1,5 @@
+"""SSA construction utilities (mem2reg / alloca promotion)."""
+
+from .mem2reg import promotable_allocas, promote_memory_to_registers
+
+__all__ = ["promote_memory_to_registers", "promotable_allocas"]

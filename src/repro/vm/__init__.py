@@ -1,0 +1,5 @@
+"""Adaptive multi-tier runtime built on the OSR framework."""
+
+from .runtime import AdaptiveRuntime, TieredFunction
+
+__all__ = ["AdaptiveRuntime", "TieredFunction"]

@@ -1,0 +1,207 @@
+"""TinyVM-like adaptive runtime.
+
+A small multi-tier execution engine that exercises the OSR framework the
+way a JIT would (the paper's TinyVM testbed plays the same role):
+
+* functions start executing in the *base* tier (the unoptimized f_base,
+  run by the interpreter);
+* a per-function hotness counter is bumped on every call; when it crosses
+  the threshold, the runtime builds the optimized version with the
+  OSR-aware pipeline and an OSR mapping, and **transfers the currently
+  pending execution** to the optimized code at the next mapped program
+  point (an optimizing OSR at a loop body point, not just at the next
+  call);
+* a deoptimizing OSR can be requested at any mapped point of the
+  optimized code (``deoptimize_at``), transferring execution back to
+  f_base — the mechanism speculative optimizations rely on.
+
+The runtime is deliberately small: its purpose is to demonstrate and test
+end-to-end transitions, not to be fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.mapping import OSRMapping
+from ..core.osr_trans import OSRTransDriver, VersionPair
+from ..core.reconstruct import ReconstructionMode
+from ..ir.function import Function, ProgramPoint
+from ..ir.interp import ExecutionResult, Interpreter, Memory, StepLimitExceeded
+from ..passes import standard_pipeline
+
+__all__ = ["TieredFunction", "AdaptiveRuntime"]
+
+
+@dataclass
+class TieredFunction:
+    """Per-function state kept by the runtime."""
+
+    base: Function
+    pair: Optional[VersionPair] = None
+    forward_mapping: Optional[OSRMapping] = None
+    backward_mapping: Optional[OSRMapping] = None
+    call_count: int = 0
+    osr_entries: int = 0
+    osr_exits: int = 0
+
+    @property
+    def optimized(self) -> Optional[Function]:
+        return self.pair.optimized if self.pair is not None else None
+
+    @property
+    def is_compiled(self) -> bool:
+        return self.pair is not None
+
+
+class AdaptiveRuntime:
+    """A two-tier runtime with hotness-triggered optimizing OSR."""
+
+    def __init__(
+        self,
+        *,
+        hotness_threshold: int = 3,
+        passes=None,
+        step_limit: int = 2_000_000,
+        mode: ReconstructionMode = ReconstructionMode.AVAIL,
+    ) -> None:
+        self.hotness_threshold = hotness_threshold
+        self.driver = OSRTransDriver(passes if passes is not None else standard_pipeline())
+        self.step_limit = step_limit
+        self.mode = mode
+        self.functions: Dict[str, TieredFunction] = {}
+        #: Log of (function, kind, point) transition events, for tests/examples.
+        self.events: List[Tuple[str, str, ProgramPoint]] = []
+
+    # ------------------------------------------------------------------ #
+    # Registration and compilation.
+    # ------------------------------------------------------------------ #
+    def register(self, function: Function) -> TieredFunction:
+        state = TieredFunction(base=function)
+        self.functions[function.name] = state
+        return state
+
+    def _compile(self, state: TieredFunction) -> None:
+        state.pair = self.driver.run(state.base)
+        state.forward_mapping = state.pair.forward_mapping(self.mode)
+        state.backward_mapping = state.pair.backward_mapping(self.mode)
+
+    def _first_mapped_loop_point(self, state: TieredFunction) -> Optional[ProgramPoint]:
+        """A mapped OSR entry point inside a loop body of f_base, if any.
+
+        Optimizing OSR is most valuable when a long-running loop is already
+        in flight; we pick the first mapped point whose block belongs to a
+        natural loop, falling back to any mapped point.
+        """
+        assert state.forward_mapping is not None and state.pair is not None
+        from ..cfg.graph import ControlFlowGraph
+        from ..cfg.loops import find_loops
+
+        cfg = ControlFlowGraph(state.base)
+        loops = find_loops(cfg)
+        loop_blocks = {label for loop in loops for label in loop.body}
+        mapped = state.forward_mapping.domain()
+        for point in mapped:
+            if isinstance(point, ProgramPoint) and point.block in loop_blocks:
+                return point
+        return mapped[0] if mapped else None
+
+    # ------------------------------------------------------------------ #
+    # Execution.
+    # ------------------------------------------------------------------ #
+    def call(
+        self,
+        name: str,
+        args: Sequence[int],
+        *,
+        memory: Optional[Memory] = None,
+    ) -> ExecutionResult:
+        """Call a registered function, applying the tiering policy."""
+        state = self.functions[name]
+        state.call_count += 1
+
+        # Hot enough and not yet compiled: compile now and OSR into the
+        # optimized code mid-execution of this very call.
+        if not state.is_compiled and state.call_count >= self.hotness_threshold:
+            self._compile(state)
+            assert state.pair is not None and state.forward_mapping is not None
+            osr_point = self._first_mapped_loop_point(state)
+            if osr_point is not None:
+                return self._call_with_osr(state, args, memory, osr_point)
+
+        # Steady state: run whichever tier is current.
+        target = state.optimized if state.is_compiled else state.base
+        assert target is not None
+        return Interpreter(step_limit=self.step_limit).run(target, args, memory=memory)
+
+    def _call_with_osr(
+        self,
+        state: TieredFunction,
+        args: Sequence[int],
+        memory: Optional[Memory],
+        osr_point: ProgramPoint,
+    ) -> ExecutionResult:
+        assert state.pair is not None and state.forward_mapping is not None
+        interpreter = Interpreter(step_limit=self.step_limit)
+        paused = interpreter.run(state.base, args, memory=memory, break_at=osr_point)
+        if paused.stopped_at is None:
+            return paused  # the loop never ran; nothing to transfer
+        entry = state.forward_mapping.lookup(osr_point)
+        assert entry is not None
+        landing_env = state.forward_mapping.transfer(osr_point, paused.env)
+        state.osr_entries += 1
+        self.events.append((state.base.name, "optimizing-osr", osr_point))
+        return Interpreter(step_limit=self.step_limit).resume(
+            state.pair.optimized,
+            entry.target,
+            landing_env,
+            memory=paused.memory,
+            previous_block=paused.previous_block,
+        )
+
+    def deoptimize_at(
+        self,
+        name: str,
+        point: ProgramPoint,
+        args: Sequence[int],
+        *,
+        memory: Optional[Memory] = None,
+    ) -> ExecutionResult:
+        """Run the optimized code until ``point``, then OSR back to f_base.
+
+        Models invalidation of a speculative assumption: the optimized
+        version is abandoned mid-flight and execution completes in the
+        unoptimized code.
+        """
+        state = self.functions[name]
+        if not state.is_compiled:
+            self._compile(state)
+        assert state.pair is not None and state.backward_mapping is not None
+        entry = state.backward_mapping.lookup(point)
+        if entry is None:
+            raise KeyError(f"deoptimization not supported at {point}")
+        paused = Interpreter(step_limit=self.step_limit).run(
+            state.pair.optimized, args, memory=memory, break_at=point
+        )
+        if paused.stopped_at is None:
+            return paused
+        landing_env = state.backward_mapping.transfer(point, paused.env)
+        state.osr_exits += 1
+        self.events.append((name, "deoptimizing-osr", point))
+        return Interpreter(step_limit=self.step_limit).resume(
+            state.base,
+            entry.target,
+            landing_env,
+            memory=paused.memory,
+            previous_block=paused.previous_block,
+        )
+
+    def stats(self, name: str) -> Dict[str, int]:
+        state = self.functions[name]
+        return {
+            "calls": state.call_count,
+            "compiled": int(state.is_compiled),
+            "osr_entries": state.osr_entries,
+            "osr_exits": state.osr_exits,
+        }

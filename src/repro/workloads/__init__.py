@@ -1,0 +1,26 @@
+"""Workloads: named benchmark kernels, random generators, SPEC-like corpus."""
+
+from .programs import (
+    BENCHMARK_NAMES,
+    BENCHMARK_SOURCES,
+    benchmark_arguments,
+    benchmark_function,
+    benchmark_functions,
+    benchmark_source,
+)
+from .generator import random_formal_program, random_minic_function
+from .spec_corpus import SPEC_BENCHMARKS, CorpusFunction, spec_corpus
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "BENCHMARK_SOURCES",
+    "benchmark_source",
+    "benchmark_function",
+    "benchmark_functions",
+    "benchmark_arguments",
+    "random_minic_function",
+    "random_formal_program",
+    "SPEC_BENCHMARKS",
+    "CorpusFunction",
+    "spec_corpus",
+]

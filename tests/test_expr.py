@@ -1,0 +1,198 @@
+"""Tests for IR expressions: construction, evaluation, folding, substitution."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import (
+    BinOp,
+    Const,
+    UnOp,
+    Undef,
+    Var,
+    as_expr,
+    canonical_expr,
+    evaluate,
+    expr_size,
+    fold_constants,
+    free_vars,
+    is_constant_expr,
+    rename_vars,
+    substitute,
+    walk,
+)
+from repro.ir.expr import BINARY_OPS, UNARY_OPS
+
+
+class TestConstruction:
+    def test_const_holds_value(self):
+        assert Const(7).value == 7
+
+    def test_const_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            Const("x")
+
+    def test_const_normalizes_bool(self):
+        assert Const(True).value == 1
+
+    def test_var_requires_name(self):
+        with pytest.raises(TypeError):
+            Var("")
+
+    def test_binop_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            BinOp("bogus", Const(1), Const(2))
+
+    def test_unop_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            UnOp("bogus", Const(1))
+
+    def test_expressions_are_immutable(self):
+        with pytest.raises(AttributeError):
+            Const(1).value = 2
+        with pytest.raises(AttributeError):
+            Var("x").name = "y"
+
+    def test_structural_equality_and_hash(self):
+        a = BinOp("add", Var("x"), Const(1))
+        b = BinOp("add", Var("x"), Const(1))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != BinOp("add", Var("x"), Const(2))
+
+    def test_as_expr_coercions(self):
+        assert as_expr(3) == Const(3)
+        assert as_expr("v") == Var("v")
+        assert as_expr(Const(1)) == Const(1)
+        with pytest.raises(TypeError):
+            as_expr(1.5)
+
+
+class TestQueries:
+    def test_free_vars(self):
+        expr = BinOp("add", Var("x"), BinOp("mul", Var("y"), Const(2)))
+        assert free_vars(expr) == {"x", "y"}
+
+    def test_free_vars_of_constant(self):
+        assert free_vars(Const(5)) == frozenset()
+
+    def test_is_constant_expr(self):
+        assert is_constant_expr(BinOp("add", Const(1), Const(2)))
+        assert not is_constant_expr(BinOp("add", Var("x"), Const(2)))
+        assert not is_constant_expr(Undef())
+
+    def test_expr_size_counts_nodes(self):
+        expr = BinOp("add", Var("x"), BinOp("mul", Var("y"), Const(2)))
+        assert expr_size(expr) == 5
+
+    def test_walk_preorder(self):
+        expr = BinOp("add", Var("x"), Const(1))
+        nodes = list(walk(expr))
+        assert nodes[0] is expr
+        assert Var("x") in nodes and Const(1) in nodes
+
+
+class TestEvaluation:
+    def test_arithmetic(self):
+        expr = BinOp("add", BinOp("mul", Var("x"), Const(3)), Const(1))
+        assert evaluate(expr, {"x": 4}) == 13
+
+    def test_division_truncates_toward_zero(self):
+        assert evaluate(BinOp("div", Const(-7), Const(2)), {}) == -3
+        assert evaluate(BinOp("rem", Const(-7), Const(2)), {}) == -1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            evaluate(BinOp("div", Const(1), Const(0)), {})
+
+    def test_comparisons_yield_zero_or_one(self):
+        assert evaluate(BinOp("lt", Const(1), Const(2)), {}) == 1
+        assert evaluate(BinOp("ge", Const(1), Const(2)), {}) == 0
+
+    def test_unary_operators(self):
+        assert evaluate(UnOp("neg", Const(5)), {}) == -5
+        assert evaluate(UnOp("not", Const(0)), {}) == 1
+        assert evaluate(UnOp("abs", Const(-3)), {}) == 3
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(KeyError):
+            evaluate(Var("missing"), {})
+
+    def test_undef_raises(self):
+        with pytest.raises(ValueError):
+            evaluate(Undef(), {})
+
+
+class TestRewriting:
+    def test_substitute_replaces_variables(self):
+        expr = BinOp("add", Var("x"), Var("y"))
+        result = substitute(expr, {"x": Const(3)})
+        assert result == BinOp("add", Const(3), Var("y"))
+
+    def test_substitute_leaves_unrelated_expr_untouched(self):
+        expr = BinOp("add", Var("x"), Const(1))
+        assert substitute(expr, {"z": Const(0)}) == expr
+
+    def test_rename_vars(self):
+        expr = BinOp("add", Var("x"), Var("y"))
+        assert rename_vars(expr, {"x": "a"}) == BinOp("add", Var("a"), Var("y"))
+
+    def test_fold_constants_full(self):
+        expr = BinOp("add", BinOp("mul", Const(3), Const(4)), Const(1))
+        assert fold_constants(expr) == Const(13)
+
+    def test_fold_constants_identities(self):
+        assert fold_constants(BinOp("add", Var("x"), Const(0))) == Var("x")
+        assert fold_constants(BinOp("mul", Const(1), Var("x"))) == Var("x")
+
+    def test_fold_preserves_trapping_division(self):
+        expr = BinOp("div", Const(1), Const(0))
+        assert fold_constants(expr) == expr
+
+    def test_canonical_orders_commutative_operands(self):
+        a = canonical_expr(BinOp("add", Var("y"), Var("x")))
+        b = canonical_expr(BinOp("add", Var("x"), Var("y")))
+        assert a == b
+
+    def test_canonical_preserves_non_commutative(self):
+        expr = BinOp("sub", Var("y"), Var("x"))
+        assert canonical_expr(expr) == expr
+
+
+@st.composite
+def expr_strategy(draw, depth=0):
+    """Random expressions over variables a, b, c."""
+    if depth >= 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return Const(draw(st.integers(min_value=-50, max_value=50)))
+        return Var(draw(st.sampled_from(["a", "b", "c"])))
+    op = draw(st.sampled_from(["add", "sub", "mul", "lt", "max", "xor"]))
+    return BinOp(op, draw(expr_strategy(depth=depth + 1)), draw(expr_strategy(depth=depth + 1)))
+
+
+class TestProperties:
+    @given(expr_strategy(), st.integers(-10, 10), st.integers(-10, 10), st.integers(-10, 10))
+    def test_fold_constants_preserves_evaluation(self, expr, a, b, c):
+        env = {"a": a, "b": b, "c": c}
+        assert evaluate(fold_constants(expr), env) == evaluate(expr, env)
+
+    @given(expr_strategy(), st.integers(-10, 10), st.integers(-10, 10), st.integers(-10, 10))
+    def test_canonicalization_preserves_evaluation(self, expr, a, b, c):
+        env = {"a": a, "b": b, "c": c}
+        assert evaluate(canonical_expr(expr), env) == evaluate(expr, env)
+
+    @given(expr_strategy())
+    def test_canonicalization_is_idempotent(self, expr):
+        once = canonical_expr(expr)
+        assert canonical_expr(once) == once
+
+    @given(expr_strategy())
+    def test_substitution_with_empty_mapping_is_identity(self, expr):
+        assert substitute(expr, {}) == expr
+
+    def test_every_binary_op_is_total_on_nonzero(self):
+        for name, fn in BINARY_OPS.items():
+            assert isinstance(fn(5, 3), int), name
+
+    def test_every_unary_op_is_total(self):
+        for name, fn in UNARY_OPS.items():
+            assert isinstance(fn(-4), int), name

@@ -1,0 +1,245 @@
+"""Tests for the MiniC frontend, the workloads, the VM and the Section 7 study."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import OSRTransDriver, ReconstructionMode
+from repro.core.debug import analyze_function, measure_recoverability
+from repro.frontend import LoweringError, MiniCSyntaxError, compile_function, parse_minic
+from repro.harness import (
+    figure7_optimizing_osr,
+    figure8_deoptimizing_osr,
+    figure9_recoverability,
+    render_rows,
+    table1_pass_instrumentation,
+    table2_ir_features,
+    table3_compensation_size,
+    table4_endangered_functions,
+    table5_keep_sets,
+)
+from repro.ir import run_function, verify_function
+from repro.passes import standard_pipeline
+from repro.vm import AdaptiveRuntime
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    benchmark_arguments,
+    benchmark_function,
+    random_minic_function,
+    spec_corpus,
+)
+
+FAST_NAMES = ("soplex", "vp8", "h264ref")
+
+
+class TestFrontend:
+    def test_scalar_arithmetic(self):
+        f = compile_function("func f(a, b) { var r = a * b + 2; return r; }")
+        assert run_function(f, [3, 4]).value == 14
+
+    def test_control_flow(self):
+        src = """
+        func collatz(n) {
+          var steps = 0;
+          while (n != 1) {
+            if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+            steps = steps + 1;
+          }
+          return steps;
+        }
+        """
+        f = compile_function(src)
+        assert run_function(f, [6]).value == 8
+
+    def test_for_loop_and_arrays(self):
+        src = """
+        func squares(n) {
+          var a[16];
+          var i = 0;
+          for (i = 0; i < n; i = i + 1) { a[i] = i * i; }
+          var s = 0;
+          for (i = 0; i < n; i = i + 1) { s = s + a[i]; }
+          return s;
+        }
+        """
+        f = compile_function(src)
+        assert run_function(f, [5]).value == 0 + 1 + 4 + 9 + 16
+
+    def test_break_and_continue(self):
+        src = """
+        func f(n) {
+          var s = 0;
+          var i = 0;
+          while (i < n) {
+            i = i + 1;
+            if (i % 2 == 0) { continue; }
+            if (i > 7) { break; }
+            s = s + i;
+          }
+          return s;
+        }
+        """
+        f = compile_function(src)
+        assert run_function(f, [100]).value == 1 + 3 + 5 + 7
+
+    def test_calls_between_functions(self):
+        from repro.frontend import compile_program
+        from repro.ir import run_module
+
+        src = """
+        func square(x) { return x * x; }
+        func main(n) { return square(n) + square(n + 1); }
+        """
+        module = compile_program(src)
+        assert run_module(module, "main", [3]).value == 9 + 16
+
+    def test_functions_are_ssa_with_debug_info(self):
+        f = compile_function("func f(a) { var x = a + 1; var y = x * 2; return y; }")
+        verify_function(f, require_ssa=True)
+        debug = f.metadata["debug"]
+        assert {"a", "x", "y"} <= set(debug.variable_names())
+        assert debug.source_points(f)
+
+    def test_syntax_error(self):
+        with pytest.raises(MiniCSyntaxError):
+            parse_minic("func f( { }")
+
+    def test_undeclared_variable_error(self):
+        with pytest.raises(LoweringError):
+            compile_function("func f(a) { b = 1; return a; }")
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 3_000), st.integers(1, 6))
+    def test_random_functions_compile_and_optimize_consistently(self, seed, n):
+        """Random MiniC functions survive the whole pipeline unchanged in meaning."""
+        source = random_minic_function(f"rand{seed}", seed, statements=6, use_array=False)
+        f = compile_function(source, f"rand{seed}")
+        verify_function(f, require_ssa=True)
+        pair = OSRTransDriver(standard_pipeline()).run(f)
+        verify_function(pair.optimized, require_ssa=True)
+        try:
+            expected = run_function(f, [n], step_limit=200_000).value
+            actual = run_function(pair.optimized, [n], step_limit=200_000).value
+        except ZeroDivisionError:
+            return
+        assert expected == actual
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_kernel_compiles_and_optimization_preserves_result(self, name):
+        f = benchmark_function(name)
+        verify_function(f, require_ssa=True)
+        args, mem = benchmark_arguments(name)
+        expected = run_function(f, args, memory=mem.copy()).value
+        pair = OSRTransDriver(standard_pipeline()).run(f)
+        verify_function(pair.optimized, require_ssa=True)
+        assert run_function(pair.optimized, args, memory=mem.copy()).value == expected
+
+    def test_corpus_is_deterministic(self):
+        a = spec_corpus(scale=0.12)
+        b = spec_corpus(scale=0.12)
+        assert [entry.name for entry in a] == [entry.name for entry in b]
+        assert all(entry.debug is not None for entry in a)
+
+
+class TestAdaptiveRuntime:
+    def test_hot_function_is_compiled_and_osr_preserves_result(self):
+        runtime = AdaptiveRuntime(hotness_threshold=2)
+        f = benchmark_function("h264ref")
+        runtime.register(f)
+        args, mem = benchmark_arguments("h264ref")
+        expected = run_function(f, args, memory=mem.copy()).value
+        results = [runtime.call("h264ref", args, memory=mem.copy()).value for _ in range(4)]
+        assert results == [expected] * 4
+        stats = runtime.stats("h264ref")
+        assert stats["compiled"] == 1
+        assert stats["osr_entries"] >= 1
+
+    def test_deoptimization_returns_to_base_tier(self):
+        runtime = AdaptiveRuntime(hotness_threshold=1)
+        f = benchmark_function("soplex")
+        runtime.register(f)
+        args, mem = benchmark_arguments("soplex")
+        expected = run_function(f, args, memory=mem.copy()).value
+        runtime.call("soplex", args, memory=mem.copy())
+        state = runtime.functions["soplex"]
+        assert state.backward_mapping is not None and len(state.backward_mapping) > 0
+        point = state.backward_mapping.domain()[0]
+        result = runtime.deoptimize_at("soplex", point, args, memory=mem.copy())
+        assert result.value == expected
+        assert runtime.stats("soplex")["osr_exits"] == 1
+
+
+class TestDebuggingStudy:
+    def _pair_and_debug(self, name="bzip2"):
+        f = benchmark_function(name)
+        pair = OSRTransDriver(standard_pipeline()).run(f)
+        return pair, f.metadata["debug"]
+
+    def test_endangered_analysis_reports_breakpoints(self):
+        pair, debug = self._pair_and_debug()
+        analysis = analyze_function(pair, debug)
+        assert analysis.breakpoint_count > 0
+        for report in analysis.reports:
+            assert set(report.correct).isdisjoint(report.endangered)
+            assert report.source_line is not None
+
+    def test_unoptimized_pair_has_no_endangered_variables(self):
+        f = benchmark_function("soplex")
+        pair = OSRTransDriver([]).run(f)  # empty pipeline: f_opt == f_base
+        analysis = analyze_function(pair, f.metadata["debug"])
+        assert not analysis.is_endangered
+
+    def test_recoverability_avail_at_least_live(self):
+        for name in FAST_NAMES:
+            pair, debug = self._pair_and_debug(name)
+            recovery = measure_recoverability(pair, debug)
+            live = recovery.average_ratio(ReconstructionMode.LIVE)
+            avail = recovery.average_ratio(ReconstructionMode.AVAIL)
+            assert 0.0 <= live <= avail <= 1.0
+
+
+class TestHarness:
+    def test_table1_reports_every_pass(self):
+        rows = table1_pass_instrumentation()
+        assert {row["pass"] for row in rows} == {
+            "ADCE", "CP", "CSE", "LICM", "SCCP", "Sink", "LC", "LCSSA",
+        }
+        for row in rows:
+            assert row["instrumentation_sites"] >= 1
+            assert row["instrumentation_sites"] < row["loc"]
+
+    def test_table2_shapes(self):
+        rows = table2_ir_features(FAST_NAMES)
+        for row in rows:
+            assert row["f_opt"] <= row["f_base"]
+            assert row["delete"] >= 1
+
+    def test_figure7_and_8_cumulative_percentages(self):
+        for rows in (figure7_optimizing_osr(FAST_NAMES), figure8_deoptimizing_osr(FAST_NAMES)):
+            for row in rows:
+                assert 0 <= row["empty_pct"] <= row["live_pct"] <= row["avail_pct"] <= 100
+                assert abs(row["avail_pct"] + row["unsupported_pct"] - 100) < 0.5
+
+    def test_table3_deopt_compensation_is_smaller_on_average(self):
+        rows = table3_compensation_size(BENCHMARK_NAMES)
+        fwd = sum(row["fwd_avail_avg"] for row in rows) / len(rows)
+        bwd = sum(row["bwd_avail_avg"] for row in rows) / len(rows)
+        assert bwd <= fwd
+
+    def test_section7_tables_shapes(self):
+        scale = 0.12
+        table4 = table4_endangered_functions(scale)
+        assert table4, "corpus analysis produced no rows"
+        for row in table4:
+            assert row["F_end"] <= row["F_opt"] <= row["F_tot"]
+        fig9 = figure9_recoverability(scale)
+        for row in fig9:
+            assert 0.0 <= row["live_ratio"] <= row["avail_ratio"] <= 1.0
+        table5 = table5_keep_sets(scale)
+        for row in table5:
+            assert 0.0 <= row["frac_needing_keep"] <= 1.0
+
+    def test_render_rows_produces_table(self):
+        text = render_rows(table1_pass_instrumentation(), "Table 1")
+        assert "Table 1" in text and "ADCE" in text

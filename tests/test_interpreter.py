@@ -1,0 +1,141 @@
+"""Tests for the reference interpreter: semantics, phis, memory, break_at."""
+
+import pytest
+
+from repro.ir import (
+    AbortExecution,
+    FunctionBuilder,
+    Interpreter,
+    Memory,
+    Module,
+    ProgramPoint,
+    StepLimitExceeded,
+    parse_function,
+    run_function,
+)
+
+
+class TestBasicExecution:
+    def test_straight_line(self):
+        f = parse_function("func @f(a, b) {\nentry:\n  x = (a * b)\n  ret (x + 1)\n}")
+        assert run_function(f, [3, 4]).value == 13
+
+    def test_loop_with_phis(self, sum_loop):
+        assert run_function(sum_loop, [10]).value == sum(range(10))
+        assert run_function(sum_loop, [0]).value == 0
+
+    def test_diamond_takes_both_sides(self, diamond):
+        assert run_function(diamond, [1, 5]).value == 1 * 2 + 1
+        assert run_function(diamond, [5, 1]).value == 1 * 3 + 1
+
+    def test_wrong_arity_raises(self, sum_loop):
+        with pytest.raises(TypeError):
+            run_function(sum_loop, [])
+
+    def test_abort_raises(self):
+        f = parse_function("func @f() {\nentry:\n  abort\n}")
+        with pytest.raises(AbortExecution):
+            run_function(f)
+
+    def test_step_limit(self):
+        f = parse_function("func @f() {\nentry:\n  jmp entry\n}")
+        with pytest.raises(StepLimitExceeded):
+            run_function(f, step_limit=100)
+
+    def test_ret_without_value(self):
+        f = parse_function("func @f() {\nentry:\n  ret\n}")
+        assert run_function(f).value is None
+
+
+class TestMemory:
+    def test_alloca_store_load(self):
+        f = parse_function(
+            "func @f(v) {\nentry:\n  p = alloca 1\n  store p, (v * 2)\n  x = load p\n  ret x\n}"
+        )
+        assert run_function(f, [21]).value == 42
+
+    def test_uninitialized_memory_reads_zero(self):
+        f = parse_function("func @f() {\nentry:\n  p = alloca 4\n  x = load (p + 3)\n  ret x\n}")
+        assert run_function(f).value == 0
+
+    def test_host_provided_array(self):
+        f = parse_function(
+            "func @sum3(p) {\nentry:\n  a = load p\n  b = load (p + 1)\n  c = load (p + 2)\n  ret ((a + b) + c)\n}"
+        )
+        mem = Memory()
+        base = mem.allocate(3)
+        mem.write_array(base, [10, 20, 30])
+        assert run_function(f, [base], memory=mem).value == 60
+
+    def test_memory_snapshot_and_copy(self):
+        mem = Memory()
+        addr = mem.allocate(2)
+        mem.store(addr, 5)
+        clone = mem.copy()
+        clone.store(addr, 9)
+        assert mem.load(addr) == 5
+        assert clone.load(addr) == 9
+        assert mem.snapshot() == {addr: 5}
+
+
+class TestCalls:
+    def test_call_within_module(self):
+        module_src = """
+        func @double(x) {
+        entry:
+          ret (x * 2)
+        }
+
+        func @main(n) {
+        entry:
+          r = call @double(n)
+          ret (r + 1)
+        }
+        """
+        from repro.ir import parse_module, run_module
+
+        module = parse_module(module_src)
+        assert run_module(module, "main", [5]).value == 11
+
+    def test_native_function(self):
+        f = parse_function("func @f(x) {\nentry:\n  r = call @host_add(x, 10)\n  ret r\n}")
+        interp = Interpreter(natives={"host_add": lambda args, mem: args[0] + args[1]})
+        assert interp.run(f, [7]).value == 17
+
+    def test_unknown_callee_raises(self):
+        f = parse_function("func @f() {\nentry:\n  r = call @missing()\n  ret r\n}")
+        with pytest.raises(KeyError):
+            run_function(f)
+
+
+class TestBreakAndResume:
+    def test_break_at_captures_state(self, sum_loop):
+        paused = Interpreter().run(sum_loop, [10], break_at=ProgramPoint("body", 0))
+        assert paused.stopped_at == ProgramPoint("body", 0)
+        assert paused.env["i2"] == 0 and paused.env["acc2"] == 0
+        assert paused.previous_block == "loop"
+
+    def test_break_on_nth_visit(self, sum_loop):
+        paused = Interpreter().run(
+            sum_loop, [10], break_at=ProgramPoint("body", 0), break_on_visit=4
+        )
+        assert paused.env["i2"] == 3
+        assert paused.env["acc2"] == 0 + 1 + 2
+
+    def test_resume_continues_to_completion(self, sum_loop):
+        point = ProgramPoint("body", 0)
+        paused = Interpreter().run(sum_loop, [10], break_at=point, break_on_visit=3)
+        result = Interpreter().resume(
+            sum_loop, point, paused.env, previous_block=paused.previous_block
+        )
+        assert result.value == sum(range(10))
+
+    def test_break_at_unreached_point_runs_to_completion(self, diamond):
+        paused = Interpreter().run(diamond, [1, 5], break_at=ProgramPoint("else", 0))
+        assert paused.stopped_at is None
+        assert paused.value == 3
+
+    def test_trace_collection(self, diamond):
+        result = Interpreter().run(diamond, [1, 5], collect_trace=True)
+        visited_blocks = {entry.point.block for entry in result.trace}
+        assert "then" in visited_blocks and "else" not in visited_blocks
