@@ -1,0 +1,222 @@
+"""Record (and check) the speculative-tier benchmark metrics.
+
+Emits ``BENCH_speculation.json`` with two kinds of metrics:
+
+* **counters** — deterministic facts about a scripted tiering scenario
+  (guards inserted, deopt events, continuation-cache hit rate).  These
+  must match the committed baseline exactly.
+
+* **ratios** — wall-clock ratios between execution paths (OSR transition
+  vs. straight run, guard-failure deopt vs. warm call, dispatched
+  continuation vs. warm call).  Ratios are machine-speed independent to
+  first order; the check compares them against the baseline within a
+  multiplicative tolerance.
+
+Usage::
+
+    python benchmarks/record.py                      # record a fresh file
+    python benchmarks/record.py --check              # compare vs baseline
+    python benchmarks/record.py --repeats 50         # steadier timings
+
+CI runs ``--check`` as the benchmark-regression guard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import OSRTransDriver, perform_osr  # noqa: E402
+from repro.ir import Interpreter  # noqa: E402
+from repro.passes import speculative_pipeline  # noqa: E402
+from repro.vm import AdaptiveRuntime, ValueProfile  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    speculative_arguments,
+    speculative_function,
+)
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_speculation.json"
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_baseline.json"
+KERNEL = "dispatch"
+
+
+def _median_seconds(thunk, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        thunk()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def _scenario_counters() -> dict:
+    """Deterministic tiering scenario: warm, then repeated violations."""
+    function = speculative_function(KERNEL)
+    rt = AdaptiveRuntime(hotness_threshold=3, min_samples=2)
+    rt.register(function)
+    for _ in range(5):
+        args, memory = speculative_arguments(KERNEL)
+        rt.call(KERNEL, args, memory=memory)
+    for _ in range(4):
+        args, memory = speculative_arguments(KERNEL, violate=True)
+        rt.call(KERNEL, args, memory=memory)
+    stats = rt.stats(KERNEL)
+    attempts = stats["dispatch_hits"] + stats["dispatch_misses"]
+    return {
+        "speculative": stats["speculative"],
+        "guards_inserted": stats["guards"],
+        "osr_entries": stats["osr_entries"],
+        "deopt_events": stats["osr_exits"],
+        "guard_failures": stats["guard_failures"],
+        "continuation_cache_hit_rate": (
+            round(stats["dispatch_hits"] / attempts, 4) if attempts else 0.0
+        ),
+    }
+
+
+def _timing_ratios(repeats: int) -> dict:
+    function = speculative_function(KERNEL)
+
+    # A speculative version pair built from a warm profile.
+    profile = ValueProfile()
+    interp = Interpreter(profiler=profile)
+    for _ in range(6):
+        args, memory = speculative_arguments(KERNEL)
+        interp.run(function, args, memory=memory)
+    pair = OSRTransDriver(
+        speculative_pipeline(profile.function(KERNEL), min_samples=2)
+    ).run(function)
+    forward = pair.forward_mapping()
+    osr_point = next(
+        point for point in forward.domain() if point.block.startswith("while.body")
+    )
+
+    args, memory = speculative_arguments(KERNEL)
+    straight = _median_seconds(
+        lambda: Interpreter().run(pair.optimized, args, memory=memory.copy()),
+        repeats,
+    )
+    transition = _median_seconds(
+        lambda: perform_osr(
+            function,
+            pair.optimized,
+            forward,
+            osr_point,
+            args,
+            memory=memory.copy(),
+            use_continuation=False,
+        ),
+        repeats,
+    )
+
+    # Runtime-level costs: a warm optimized call, a guard failure handled
+    # by full deopt (+ continuation build), and a dispatched hit.
+    rt = AdaptiveRuntime(hotness_threshold=7, min_samples=2)
+    rt.register(function)
+    for _ in range(7):  # six profiled base calls, the seventh compiles
+        warm_args, warm_memory = speculative_arguments(KERNEL)
+        rt.call(KERNEL, warm_args, memory=warm_memory)
+    state = rt.functions[KERNEL]
+    assert state.is_compiled and state.speculative
+
+    def warm_call():
+        call_args, call_memory = speculative_arguments(KERNEL)
+        rt.call(KERNEL, call_args, memory=call_memory)
+
+    def deopt_call():
+        state.continuations.clear()  # force the slow path every time
+        call_args, call_memory = speculative_arguments(KERNEL, violate=True)
+        rt.call(KERNEL, call_args, memory=call_memory)
+
+    def dispatch_call():
+        call_args, call_memory = speculative_arguments(KERNEL, violate=True)
+        rt.call(KERNEL, call_args, memory=call_memory)
+
+    deopt_call()  # prime the continuation cache for dispatch_call
+    dispatch_call()
+
+    warm = _median_seconds(warm_call, repeats)
+    deopt = _median_seconds(deopt_call, repeats)
+    dispatch = _median_seconds(dispatch_call, repeats)
+
+    return {
+        "osr_transition_overhead": round(transition / straight, 4),
+        "guard_deopt_cost": round(deopt / warm, 4),
+        "dispatch_cost": round(dispatch / warm, 4),
+    }
+
+
+def record(repeats: int) -> dict:
+    return {
+        "kernel": KERNEL,
+        "counters": _scenario_counters(),
+        "ratios": _timing_ratios(repeats),
+        "meta": {"repeats": repeats},
+    }
+
+
+def check(current: dict, baseline: dict, tolerance: float) -> list:
+    problems = []
+    for key, expected in baseline["counters"].items():
+        actual = current["counters"].get(key)
+        if actual != expected:
+            problems.append(f"counter {key}: expected {expected}, got {actual}")
+    for key, expected in baseline["ratios"].items():
+        actual = current["ratios"].get(key)
+        if actual is None or actual <= 0 or expected <= 0:
+            problems.append(f"ratio {key}: missing or non-positive ({actual})")
+            continue
+        drift = max(actual, expected) / min(actual, expected)
+        if drift > tolerance:
+            problems.append(
+                f"ratio {key}: {actual} vs baseline {expected} "
+                f"(drift {drift:.2f}x > tolerance {tolerance}x)"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=4.0)
+    parser.add_argument("--repeats", type=int, default=30)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare the fresh recording against the committed baseline",
+    )
+    options = parser.parse_args(argv)
+    if options.repeats < 1:
+        parser.error("--repeats must be at least 1")
+
+    current = record(options.repeats)
+    options.output.write_text(json.dumps(current, indent=2) + "\n")
+    print(f"recorded {options.output}")
+    print(json.dumps(current, indent=2))
+
+    if not options.check:
+        return 0
+    if not options.baseline.exists():
+        print(f"no baseline at {options.baseline}", file=sys.stderr)
+        return 1
+    baseline = json.loads(options.baseline.read_text())
+    problems = check(current, baseline, options.tolerance)
+    if problems:
+        print("benchmark regression check FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("benchmark regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
 """Figure 8 — breakdown of feasible f_opt → f_base (deoptimizing) OSR points."""
 
-from repro.harness import figure8_deoptimizing_osr, figure7_optimizing_osr, render_rows
+from repro.harness import figure8_deoptimizing_osr, render_rows
 from repro.workloads import BENCHMARK_NAMES
 
 

@@ -15,7 +15,7 @@ Run with:  python examples/quickstart.py
 
 from repro.core import OSRTransDriver, ReconstructionMode, perform_osr
 from repro.frontend import compile_function
-from repro.ir import ProgramPoint, print_function, run_function
+from repro.ir import print_function, run_function
 from repro.passes import standard_pipeline
 
 SOURCE = """

@@ -19,11 +19,10 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Optional, Set
 
-from ..cfg.dominance import DominatorTree
 from ..cfg.graph import ControlFlowGraph, reverse_postorder
 from ..ir.expr import Expr, canonical_expr, free_vars
 from ..ir.function import Function, ProgramPoint
-from ..ir.instructions import Assign, Instruction, Phi
+from ..ir.instructions import Assign
 
 __all__ = ["AvailableValues", "available_values", "available_expressions"]
 

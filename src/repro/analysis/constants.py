@@ -17,16 +17,8 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..cfg.graph import ControlFlowGraph
 from ..ir.expr import BinOp, Const, Expr, UnOp, Undef, Var, BINARY_OPS, UNARY_OPS
-from ..ir.function import Function, ProgramPoint
-from ..ir.instructions import (
-    Assign,
-    Branch,
-    Call,
-    Instruction,
-    Jump,
-    Load,
-    Phi,
-)
+from ..ir.function import Function
+from ..ir.instructions import Assign, Branch, Call, Jump, Load, Phi
 
 __all__ = ["LatticeValue", "TOP", "BOTTOM", "ConstantAnalysis", "sccp_analysis"]
 

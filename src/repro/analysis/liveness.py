@@ -15,12 +15,12 @@ block but not necessarily live into the phi's own block.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set
 
 from ..cfg.graph import ControlFlowGraph, postorder
 from ..ir.expr import free_vars
 from ..ir.function import Function, ProgramPoint
-from ..ir.instructions import Instruction, Phi, Terminator
+from ..ir.instructions import Instruction, Phi
 
 __all__ = ["LivenessInfo", "live_variables"]
 

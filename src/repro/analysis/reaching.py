@@ -22,7 +22,6 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..cfg.graph import ControlFlowGraph, reverse_postorder
 from ..ir.function import Function, ProgramPoint
-from ..ir.instructions import Instruction, Phi
 
 __all__ = ["Definition", "ReachingDefinitions", "PARAM_POINT", "reaching_definitions"]
 

@@ -10,11 +10,10 @@ rewrite?" (SCCP's worklist).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
-from ..ir.expr import free_vars
 from ..ir.function import Function, ProgramPoint
-from ..ir.instructions import Instruction, Phi
+from ..ir.instructions import Instruction
 
 __all__ = ["DefUseChains", "build_def_use"]
 

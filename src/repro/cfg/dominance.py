@@ -9,7 +9,7 @@ frontiers), the SSA verifier, LICM's safety checks and the unique-reaching
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from .graph import ControlFlowGraph, reverse_postorder
 

@@ -11,10 +11,10 @@ and the paper's per-point OSR feasibility analysis operate on.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
 from ..ir.function import Function, ProgramPoint
-from ..ir.instructions import Branch, Instruction, Jump, Terminator
+from ..ir.instructions import Terminator
 
 __all__ = ["ControlFlowGraph", "reachable_blocks", "postorder", "reverse_postorder"]
 

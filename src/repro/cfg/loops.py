@@ -152,6 +152,6 @@ def find_loops(cfg: ControlFlowGraph, domtree: Optional[DominatorTree] = None) -
             and loop.body < other.body
         ]
         if candidates:
-            loop.parent = min(candidates, key=lambda l: len(l.body))
+            loop.parent = min(candidates, key=lambda lp: len(lp.body))
 
     return LoopNest(loops)

@@ -41,6 +41,7 @@ from .osr_trans import (
     osr_trans_formal,
 )
 from .bisimulation import (
+    check_guarded_deopt,
     check_ir_osr_transition,
     check_live_variable_bisimulation,
     check_mapping_soundness,
@@ -65,7 +66,7 @@ __all__ = [
     "osr_trans_formal", "FormalOSRTransResult", "OSRTransDriver",
     "VersionPair", "PointReport",
     "check_live_variable_bisimulation", "check_mapping_soundness",
-    "check_ir_osr_transition", "random_stores",
+    "check_ir_osr_transition", "check_guarded_deopt", "random_stores",
     "split_block", "make_continuation", "ContinuationInfo", "OSRPoint",
     "perform_osr",
 ]

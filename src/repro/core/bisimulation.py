@@ -24,7 +24,7 @@ executable counterpart here:
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..formal.analysis import formal_live_variables
 from ..formal.program import FormalProgram
@@ -35,13 +35,14 @@ from ..formal.semantics import (
     trace_formal,
 )
 from ..ir.function import Function, ProgramPoint
-from ..ir.interp import Interpreter, Memory
+from ..ir.interp import GuardFailure, Interpreter, Memory
 from .mapping import OSRMapping
 
 __all__ = [
     "check_live_variable_bisimulation",
     "check_mapping_soundness",
     "check_ir_osr_transition",
+    "check_guarded_deopt",
     "random_stores",
 ]
 
@@ -198,5 +199,84 @@ def check_ir_osr_transition(
         landing_env,
         memory=paused.memory,
         previous_block=paused.previous_block,
+    )
+    return resumed.value == reference.value
+
+
+def check_guarded_deopt(
+    base: Function,
+    optimized: Function,
+    mapping: OSRMapping,
+    args: Sequence[int],
+    *,
+    module=None,
+    memory: Optional[Memory] = None,
+    step_limit: int = 1_000_000,
+) -> bool:
+    """Validate a guard failure → deoptimizing OSR round trip end to end.
+
+    Runs the speculative ``optimized`` version on inputs expected to
+    violate a speculated assumption.  When a guard fails, three facts are
+    checked — the executable reading of Definition 3.1 applied to the
+    deopt point:
+
+    1. **realizability** — the transferred environment (restricted to the
+       variables live at the landing point) equals the state f_base
+       itself exhibits at that point on some visit of an uninterrupted
+       run: the live state at the deopt point is bisimilar to a real
+       f_base state, not merely type-correct;
+    2. **completeness** — the compensation code produced a value for
+       every variable live at the landing point;
+    3. **equivalence** — resuming f_base from the transferred state
+       returns exactly what an uninterrupted f_base run returns.
+
+    When no guard fires on these inputs, the optimized result must
+    simply equal the base result (speculation held).
+    """
+    reference = Interpreter(module, step_limit=step_limit).run(
+        base, args, memory=memory.copy() if memory is not None else None
+    )
+    try:
+        speculative = Interpreter(module, step_limit=step_limit).run(
+            optimized, args, memory=memory.copy() if memory is not None else None
+        )
+        return speculative.value == reference.value
+    except GuardFailure as exc:
+        failure = exc  # the except-clause name is scoped to its block
+
+    entry = mapping.lookup(failure.point)
+    if entry is None:
+        return False  # an uncovered guard fired: speculation was unsound
+    landing_env = mapping.transfer(failure.point, failure.env)
+
+    # (2) completeness: every variable live at the landing point is defined.
+    live_at_landing = mapping.target_view.live_in(entry.target)
+    if not set(live_at_landing) <= set(landing_env):
+        return False
+
+    # (1) realizability: f_base, run uninterrupted, passes through the
+    # landing point in exactly this live state on some visit.
+    traced = Interpreter(module, step_limit=step_limit).run(
+        base,
+        args,
+        memory=memory.copy() if memory is not None else None,
+        collect_trace=True,
+        trace_filter=lambda point: point == entry.target,
+    )
+    realizable = any(
+        all(state.env.get(name) == landing_env[name] for name in landing_env)
+        for state in traced.trace
+    )
+    if not realizable:
+        return False
+
+    # (3) equivalence: finishing in f_base from the transferred state
+    # produces the uninterrupted f_base result.
+    resumed = Interpreter(module, step_limit=step_limit).resume(
+        base,
+        entry.target,
+        landing_env,
+        memory=failure.memory,
+        previous_block=failure.previous_block,
     )
     return resumed.value == reference.value

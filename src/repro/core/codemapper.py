@@ -25,10 +25,10 @@ the CodeMapper answers the two questions the OSR driver asks:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..ir.expr import Expr, Var
+from ..ir.expr import Expr
 from ..ir.function import Function, ProgramPoint
 from ..ir.instructions import Instruction
 
@@ -78,6 +78,12 @@ class CodeMapper:
         self.moved: set = set()
         #: optimized-version register → operand it was replaced with.
         self.aliases: Dict[str, Expr] = {}
+        #: guard uid (optimized) → original instruction uid to deoptimize to.
+        #: Guards are *added* instructions with no twin in the original
+        #: version, and a branch guard has no surviving successor anchor in
+        #: its block either — so speculative passes record the deopt target
+        #: explicitly (see :meth:`record_guard_anchor`).
+        self.guard_anchors: Dict[int, int] = {}
         self.actions: List[PrimitiveAction] = []
 
     # ------------------------------------------------------------------ #
@@ -118,6 +124,19 @@ class CodeMapper:
             PrimitiveAction(ActionKind.REPLACE, detail, inst.uid if inst else None)
         )
 
+    def record_guard_anchor(self, guard: Instruction, anchor: Instruction) -> None:
+        """Pin a guard's deoptimization target to an original instruction.
+
+        ``anchor`` is an instruction of the optimized function that still
+        has a twin in the original version (a cloned instruction —
+        possibly one the speculative pass is about to delete, like the
+        branch a ``guard+jmp`` pair replaces).  A failing guard
+        deoptimizes to the anchor's original program point.
+        """
+        original_uid = self.backward_uid.get(anchor.uid)
+        if original_uid is not None:
+            self.guard_anchors[guard.uid] = original_uid
+
     # ------------------------------------------------------------------ #
     # Statistics (Tables 1 and 2).
     # ------------------------------------------------------------------ #
@@ -149,7 +168,19 @@ class CodeMapper:
         )
 
     def corresponding_original_point(self, point: ProgramPoint) -> Optional[ProgramPoint]:
-        """Map a point of the *optimized* function back to the original."""
+        """Map a point of the *optimized* function back to the original.
+
+        Guard instructions take their explicitly recorded deoptimization
+        anchor (:meth:`record_guard_anchor`); everything else uses the
+        generic next-surviving-instruction correspondence.
+        """
+        block = self.optimized.blocks.get(point.block)
+        if block is not None and point.index < len(block.instructions):
+            anchor_uid = self.guard_anchors.get(block.instructions[point.index].uid)
+            if anchor_uid is not None:
+                located = self._uid_index(self.original).get(anchor_uid)
+                if located is not None:
+                    return self._skip_phi_run(self.original, located)
         return self._correspond(
             point,
             source=self.optimized,
@@ -230,6 +261,9 @@ class NullCodeMapper:
         pass
 
     def replace_all_uses_with(self, old: str, new: Expr, inst: Optional[Instruction] = None) -> None:
+        pass
+
+    def record_guard_anchor(self, guard: Instruction, anchor: Instruction) -> None:
         pass
 
 

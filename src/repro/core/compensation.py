@@ -21,11 +21,11 @@ The same object can be rendered in three forms:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
 
 from ..formal.program import FAssign, FIn, FOut, FormalProgram
-from ..ir.expr import Const, Expr, Var, evaluate, free_vars
+from ..ir.expr import Expr, evaluate, free_vars
 from ..ir.instructions import Assign
 
 __all__ = ["CompensationCode"]

@@ -12,10 +12,10 @@ of being transparent to transformation passes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, List
 
-from ...ir.expr import Const, Expr, Var
+from ...ir.expr import Expr, Var
 from ...ir.function import Function, ProgramPoint
 
 __all__ = ["SourceVariable", "DebugInfo"]

@@ -17,10 +17,10 @@ variables are reported correctly and which are endangered.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ...ir.expr import Const, Expr, Var
-from ...ir.function import Function, ProgramPoint
+from ...ir.function import ProgramPoint
 from ...ir.instructions import Phi
 from ..osr_trans import VersionPair
 from .debuginfo import DebugInfo

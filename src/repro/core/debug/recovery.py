@@ -19,7 +19,7 @@ recoverability ratio that Figure 9 aggregates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from ...ir.expr import Var, free_vars
 from ..osr_trans import VersionPair

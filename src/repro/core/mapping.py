@@ -14,7 +14,7 @@ compose pointwise, and their compensation codes compose sequentially.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, Iterator, Mapping, Optional, Tuple
 
 from .compensation import CompensationCode

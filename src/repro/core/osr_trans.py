@@ -18,11 +18,12 @@ Two drivers are provided, matching the paper's two levels:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from ..formal.program import FormalProgram
 from ..ir.function import Function, ProgramPoint
+from ..ir.instructions import Guard
 from ..rewrite.engine import TransformationResult, apply_rules
 from ..rewrite.rule import RewriteRule
 from .codemapper import CodeMapper, clone_for_optimization
@@ -35,7 +36,7 @@ from .reconstruct import (
     build_compensation,
     classify_point,
 )
-from .views import FormalView, FunctionView, ProgramView
+from .views import FormalView, FunctionView
 
 __all__ = [
     "FormalOSRTransResult",
@@ -160,6 +161,29 @@ class VersionPair:
             point_class, code = classify_point(src_view, point, dst_view, target)
             reports.append(PointReport(point, target, point_class, code))
         return reports
+
+    def guard_points(self) -> List[ProgramPoint]:
+        """Program points of every ``guard`` in the optimized version."""
+        return [
+            point
+            for point, inst in self.optimized.instructions()
+            if isinstance(inst, Guard)
+        ]
+
+    def guarded_backward_mapping(
+        self, mode: ReconstructionMode = ReconstructionMode.AVAIL
+    ) -> Tuple[OSRMapping, List[ProgramPoint]]:
+        """The deoptimization mapping plus the guards it fails to cover.
+
+        Speculation is only sound when *every* guard can deoptimize: a
+        guard whose point has no backward mapping entry (no anchor, or
+        compensation-code construction failed) would strand execution on
+        failure.  Callers must treat a non-empty uncovered list as "do
+        not install this speculative version".
+        """
+        mapping = self._mapping(deopt=True, mode=mode)
+        uncovered = [point for point in self.guard_points() if point not in mapping]
+        return mapping, uncovered
 
     def forward_mapping(self, mode: ReconstructionMode = ReconstructionMode.AVAIL) -> OSRMapping:
         """A populated OSR mapping f_base → f_opt under the given strategy."""

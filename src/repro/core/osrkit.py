@@ -25,12 +25,11 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from ..cfg.graph import ControlFlowGraph, reachable_blocks
-from ..ir.expr import Var
 from ..ir.function import Function, ProgramPoint
-from ..ir.instructions import Assign, Jump, Phi
+from ..ir.instructions import Jump
 from ..ir.interp import ExecutionResult, Interpreter, Memory
 from .compensation import CompensationCode
 from .mapping import OSRMapping

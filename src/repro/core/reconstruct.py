@@ -34,9 +34,8 @@ itself, where registers keep their names.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Hashable, List, Optional, Set, Tuple
 
 from ..ir.expr import Expr, free_vars
 from .compensation import CompensationCode
@@ -137,9 +136,12 @@ def reconstruct_variable(
         raise CannotReconstruct(var, f"no unique reaching definition at {at_point}")
 
     # Line 2/3: avoid revisiting a definition (work repetition / cycles).
-    if defining_point in visited:
+    # The key includes the variable: sentinel definition points (notably
+    # PARAM_POINT, shared by every parameter) would otherwise make the
+    # first reconstructed parameter swallow all the others.
+    if (defining_point, var) in visited:
         return []
-    visited.add(defining_point)
+    visited.add((defining_point, var))
 
     # Line 4: the source already holds the value.
     if value_obtainable_from_source(var, defining_point):

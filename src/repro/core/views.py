@@ -27,9 +27,9 @@ from ..formal.analysis import (
     formal_reaching_definitions,
 )
 from ..formal.program import FAssign, FIn, FormalProgram
-from ..ir.expr import Const, Expr, Var
+from ..ir.expr import Expr
 from ..ir.function import Function, ProgramPoint
-from ..ir.instructions import Assign, Instruction, Phi
+from ..ir.instructions import Assign, Phi
 
 __all__ = ["ProgramView", "FormalView", "FunctionView"]
 

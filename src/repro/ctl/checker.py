@@ -20,7 +20,17 @@ IR-level tests.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Generic, Hashable, Iterable, List, Set, Tuple, TypeVar
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Generic,
+    Hashable,
+    List,
+    Set,
+    Tuple,
+    TypeVar,
+)
 
 from ..formal.program import FormalProgram
 from ..ir.function import Function, ProgramPoint

@@ -16,7 +16,7 @@ The model checker lives in :mod:`repro.ctl.checker`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generic, Hashable, TypeVar
+from typing import Callable, Hashable, TypeVar
 
 __all__ = [
     "Formula",

@@ -17,20 +17,11 @@ path uses x before redefining it*.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
 
-from ..formal.program import (
-    FAssign,
-    FCondGoto,
-    FIn,
-    FOut,
-    FormalInstruction,
-    FormalProgram,
-)
+from ..formal.program import FAssign, FIn, FOut, FormalInstruction, FormalProgram
 from ..ir.expr import Expr, free_vars, is_constant_expr
 from ..ir.function import Function, ProgramPoint
-from ..ir.instructions import Instruction, Phi
-from .formula import AU, Atom, BackAU, BackAX, EU, Formula, Not, TRUE
+from .formula import Atom, BackAU, BackAX, EU, Formula, Not, TRUE
 
 __all__ = [
     "formal_defines",

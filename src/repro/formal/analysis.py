@@ -12,7 +12,7 @@ claim that the CTL formalism captures the standard analyses.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from .program import FAssign, FIn, FormalProgram
 

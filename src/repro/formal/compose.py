@@ -14,10 +14,10 @@ programs and stores.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Mapping
 
 from .analysis import formal_live_variables
-from .program import FIn, FOut, FormalProgram
+from .program import FormalProgram
 from .semantics import (
     FormalAbort,
     UndefinedSemantics,

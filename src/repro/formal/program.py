@@ -21,17 +21,9 @@ Program points are 1-based integers, matching the paper's notation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..ir.expr import (
-    BinOp,
-    Const,
-    Expr,
-    UnOp,
-    Var,
-    as_expr,
-    free_vars,
-)
+from ..ir.expr import Expr, free_vars
 from ..ir.parser import parse_expr
 
 __all__ = [

@@ -12,7 +12,7 @@ operators, ``if``/``while``/``for`` control flow, function calls and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 __all__ = [
     "Node",

@@ -11,17 +11,13 @@ those shapes.
 
 from __future__ import annotations
 
-import math
 import statistics
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from ..core import OSRTransDriver, ReconstructionMode
 from ..core.codemapper import ActionKind
-from ..core.debug import analyze_function, measure_recoverability
+from ..core.debug import measure_recoverability
 from ..core.reconstruct import OSRPointClass
-from ..ir.function import Function
-from ..ir.instructions import Phi
 from ..ir.printer import format_table
 from ..passes import ALL_PASSES, standard_pipeline
 from ..workloads import (

@@ -34,6 +34,7 @@ from .instructions import (
     Assign,
     Branch,
     Call,
+    Guard,
     Instruction,
     Jump,
     Load,
@@ -50,6 +51,7 @@ from .printer import annotate_function, format_table, print_function, print_modu
 from .interp import (
     AbortExecution,
     ExecutionResult,
+    GuardFailure,
     Interpreter,
     Memory,
     StepLimitExceeded,
@@ -65,8 +67,8 @@ __all__ = [
     "free_vars", "substitute", "rename_vars", "fold_constants", "canonical_expr",
     "is_constant_expr", "expr_size", "walk",
     # instructions
-    "Instruction", "Assign", "Load", "Store", "Alloca", "Call", "Phi", "Nop",
-    "Terminator", "Jump", "Branch", "Return", "Abort",
+    "Instruction", "Assign", "Load", "Store", "Alloca", "Call", "Phi", "Guard",
+    "Nop", "Terminator", "Jump", "Branch", "Return", "Abort",
     # structure
     "BasicBlock", "Function", "Module", "ProgramPoint", "FunctionBuilder",
     # text
@@ -74,7 +76,7 @@ __all__ = [
     "print_function", "print_module", "annotate_function", "format_table",
     # execution
     "Interpreter", "Memory", "ExecutionResult", "TraceEntry", "run_function",
-    "run_module", "AbortExecution", "StepLimitExceeded",
+    "run_module", "AbortExecution", "StepLimitExceeded", "GuardFailure",
     # verification
     "VerificationError", "verify_function", "is_ssa",
 ]

@@ -17,9 +17,9 @@ readable:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
-from .expr import BinOp, Const, Expr, UnOp, Var, as_expr
+from .expr import BinOp, UnOp, as_expr
 from .function import BasicBlock, Function
 from .instructions import (
     Abort,

@@ -14,7 +14,7 @@ as dictionary keys.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Iterator, Mapping, Optional, Tuple, Union
+from typing import Callable, Dict, FrozenSet, Iterator, Mapping, Tuple, Union
 
 __all__ = [
     "Expr",

@@ -16,21 +16,9 @@ paper's ``apply`` step does for LLVM functions (Section 5.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from .expr import Const, Expr, Var, free_vars
-from .instructions import (
-    Abort,
-    Assign,
-    Branch,
-    Call,
-    Instruction,
-    Jump,
-    Nop,
-    Phi,
-    Return,
-    Terminator,
-)
+from .instructions import Instruction, Phi, Terminator
 
 __all__ = ["ProgramPoint", "BasicBlock", "Function", "Module"]
 

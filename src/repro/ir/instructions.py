@@ -17,9 +17,9 @@ variant).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from .expr import Const, Expr, Var, as_expr, free_vars, rename_vars, substitute
+from .expr import Expr, as_expr, free_vars, substitute
 
 __all__ = [
     "Instruction",
@@ -29,6 +29,7 @@ __all__ = [
     "Alloca",
     "Call",
     "Phi",
+    "Guard",
     "Nop",
     "Terminator",
     "Jump",
@@ -313,6 +314,43 @@ class Phi(Instruction):
             f"{label}: {value}" for label, value in sorted(self.incoming.items())
         )
         return f"{self.dest} = phi [{parts}]"
+
+
+class Guard(Instruction):
+    """``guard cond`` — a speculation checkpoint.
+
+    Speculative optimizations (:mod:`repro.passes.speculate`) assume a
+    fact that is only *probably* true — a register always holding one
+    value, a branch always going one way — and protect the assumption
+    with a guard on the assumed condition.  Executing a guard whose
+    condition evaluates to zero does not continue in the current
+    version: the interpreter raises
+    :class:`~repro.ir.interp.GuardFailure` carrying the live state, and
+    the runtime answers with a deoptimizing OSR (or a dispatched
+    continuation) at the guard's program point.
+
+    Guards are side-effecting so no pass removes, moves or merges them:
+    the deoptimization they trigger is an observable effect.
+    """
+
+    def __init__(self, cond) -> None:
+        super().__init__()
+        self.cond: Expr = as_expr(cond)
+
+    def expressions(self) -> Tuple[Expr, ...]:
+        return (self.cond,)
+
+    def replace_uses(self, mapping: Mapping[str, Expr]) -> None:
+        self.cond = substitute(self.cond, mapping)
+
+    def copy(self) -> "Guard":
+        return Guard(self.cond)
+
+    def has_side_effects(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return f"guard {self.cond}"
 
 
 class Nop(Instruction):

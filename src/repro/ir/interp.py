@@ -21,9 +21,9 @@ visited by a run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
-from .expr import Expr, evaluate
+from .expr import evaluate
 from .function import Function, Module, ProgramPoint
 from .instructions import (
     Abort,
@@ -31,7 +31,7 @@ from .instructions import (
     Assign,
     Branch,
     Call,
-    Instruction,
+    Guard,
     Jump,
     Load,
     Nop,
@@ -43,6 +43,7 @@ from .instructions import (
 __all__ = [
     "AbortExecution",
     "StepLimitExceeded",
+    "GuardFailure",
     "Memory",
     "TraceEntry",
     "ExecutionResult",
@@ -58,6 +59,32 @@ class AbortExecution(RuntimeError):
 
 class StepLimitExceeded(RuntimeError):
     """Raised when execution exceeds the configured step budget."""
+
+
+class GuardFailure(RuntimeError):
+    """Raised when a ``guard`` condition evaluates to zero.
+
+    Carries the paused state at the failing guard — exactly the state a
+    deoptimizing OSR transfers: the function, the guard's program point,
+    the environment, the memory and the block execution arrived from.
+    The speculative runtime catches this and lands in the unoptimized
+    code (or a cached continuation) instead of crashing.
+    """
+
+    def __init__(
+        self,
+        function: str,
+        point: ProgramPoint,
+        env: Dict[str, int],
+        memory: "Memory",
+        previous_block: Optional[str],
+    ) -> None:
+        super().__init__(f"@{function}: guard failed at {point}")
+        self.function = function
+        self.point = point
+        self.env = env
+        self.memory = memory
+        self.previous_block = previous_block
 
 
 class Memory:
@@ -152,6 +179,14 @@ class Interpreter:
     natives:
         Host functions callable as ``call @name(...)`` when ``name`` is not
         defined in the module.
+    profiler:
+        Optional value/branch profile sink (duck-typed; see
+        :class:`repro.vm.profile.ValueProfile`).  When set, the
+        interpreter reports every defined register value via
+        ``record_value(function, register, value)`` and every
+        conditional-branch outcome via
+        ``record_branch(function, point, taken)`` — the raw material a
+        speculative tier's guard-insertion pass consumes.
     """
 
     def __init__(
@@ -160,10 +195,12 @@ class Interpreter:
         *,
         step_limit: int = 1_000_000,
         natives: Optional[Mapping[str, NativeFunction]] = None,
+        profiler=None,
     ) -> None:
         self.module = module or Module("anonymous")
         self.step_limit = step_limit
         self.natives: Dict[str, NativeFunction] = dict(natives or {})
+        self.profiler = profiler
         self._steps = 0
 
     # ------------------------------------------------------------------ #
@@ -192,6 +229,9 @@ class Interpreter:
                 f"got {len(args)}"
             )
         env = {name: int(value) for name, value in zip(function.params, args)}
+        if self.profiler is not None:
+            for name, value in env.items():
+                self.profiler.record_value(function.name, name, value)
         entry_point = ProgramPoint(function.entry_label, 0)
         return self._execute(
             function,
@@ -290,6 +330,10 @@ class Interpreter:
                             f"for predecessor {prev_block!r}"
                         )
                     updates[phi.dest] = evaluate(incoming, env)
+                    if self.profiler is not None:
+                        self.profiler.record_value(
+                            function.name, phi.dest, updates[phi.dest]
+                        )
                     self._count_step()
                     if collect_trace and (trace_filter is None or trace_filter(
                         ProgramPoint(block_label, instructions.index(phi))
@@ -334,8 +378,12 @@ class Interpreter:
                     )
                 if isinstance(inst, Assign):
                     env[inst.dest] = evaluate(inst.expr, env)
+                    if self.profiler is not None:
+                        self.profiler.record_value(function.name, inst.dest, env[inst.dest])
                 elif isinstance(inst, Load):
                     env[inst.dest] = memory.load(evaluate(inst.addr, env))
+                    if self.profiler is not None:
+                        self.profiler.record_value(function.name, inst.dest, env[inst.dest])
                 elif isinstance(inst, Store):
                     memory.store(evaluate(inst.addr, env), evaluate(inst.value, env))
                 elif isinstance(inst, Alloca):
@@ -344,6 +392,11 @@ class Interpreter:
                     result = self._call(inst, env, memory, collect_trace)
                     if inst.dest is not None:
                         env[inst.dest] = result
+                elif isinstance(inst, Guard):
+                    if evaluate(inst.cond, env) == 0:
+                        raise GuardFailure(
+                            function.name, point, dict(env), memory, prev_block
+                        )
                 elif isinstance(inst, Nop):
                     pass
                 elif isinstance(inst, Jump):
@@ -353,6 +406,8 @@ class Interpreter:
                     break
                 elif isinstance(inst, Branch):
                     taken = evaluate(inst.cond, env) != 0
+                    if self.profiler is not None:
+                        self.profiler.record_branch(function.name, point, taken)
                     prev_block = block_label
                     block_label = inst.then_target if taken else inst.else_target
                     index = 0

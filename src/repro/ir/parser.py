@@ -40,6 +40,7 @@ from .instructions import (
     Assign,
     Branch,
     Call,
+    Guard,
     Jump,
     Load,
     Nop,
@@ -210,6 +211,8 @@ def _parse_instruction(line: str, line_no: int):
         return Return(parse_expr(text[4:]))
     if text.startswith("jmp "):
         return Jump(text[4:].strip())
+    if text.startswith("guard "):
+        return Guard(parse_expr(text[len("guard "):]))
     branch_match = _BRANCH_RE.match(text)
     if branch_match:
         cond, then_target, else_target = branch_match.groups()

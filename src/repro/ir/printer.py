@@ -10,7 +10,7 @@ render IR listings.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
 from .function import Function, Module, ProgramPoint
 

@@ -16,11 +16,11 @@ a failing pass test shows the whole picture at once.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from .expr import free_vars
 from .function import Function, ProgramPoint
-from .instructions import Instruction, Phi, Terminator
+from .instructions import Phi, Terminator
 
 __all__ = ["VerificationError", "verify_function", "is_ssa"]
 

@@ -18,6 +18,7 @@ from .loopcanon import LoopCanonicalization
 from .lcssa import LoopClosedSSA
 from .sccp import SparseConditionalConstantPropagation
 from .sink import CodeSinking
+from .speculate import SpeculativeGuards
 
 __all__ = [
     "Pass",
@@ -31,7 +32,9 @@ __all__ = [
     "LoopClosedSSA",
     "SparseConditionalConstantPropagation",
     "CodeSinking",
+    "SpeculativeGuards",
     "standard_pipeline",
+    "speculative_pipeline",
     "ALL_PASSES",
 ]
 
@@ -64,4 +67,23 @@ def standard_pipeline() -> List[Pass]:
         SparseConditionalConstantPropagation(),
         CodeSinking(),
         AggressiveDCE(),
+    ]
+
+
+def speculative_pipeline(
+    profile,
+    *,
+    min_samples: int = 4,
+    min_ratio: float = 0.999,
+) -> List[Pass]:
+    """The speculative pipeline: guard insertion, then the standard passes.
+
+    ``SpeculativeGuards`` must run first, while the clone's registers and
+    program points still coincide with the profiled f_base; the standard
+    passes then exploit the speculated constants and pruned cold paths
+    (``constprop``/``sccp`` fold them through, ``adce`` deletes what died).
+    """
+    return [
+        SpeculativeGuards(profile, min_samples=min_samples, min_ratio=min_ratio),
+        *standard_pipeline(),
     ]

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Set
 
 from ..core.codemapper import ActionKind, NullCodeMapper
 from ..ir.function import Function
-from ..ir.instructions import Instruction, Phi
+from ..ir.instructions import Instruction
 from .base import MapperLike, Pass
 
 __all__ = ["AggressiveDCE"]

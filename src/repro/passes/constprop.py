@@ -12,9 +12,9 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..core.codemapper import ActionKind, NullCodeMapper
-from ..ir.expr import Const, Expr, fold_constants, is_constant_expr
+from ..ir.expr import Const, Expr, fold_constants
 from ..ir.function import Function
-from ..ir.instructions import Assign, Phi
+from ..ir.instructions import Assign, Guard
 from ..ir.verify import is_ssa
 from .base import MapperLike, Pass
 
@@ -35,13 +35,33 @@ class ConstantPropagationPass(Pass):
         for _ in range(8):  # iterate: folding can expose new constants
             round_changed = False
 
-            # 1. Fold every expression operand in place.
+            # 1. Fold every expression operand in place.  Guards whose
+            #    condition folds to a non-zero constant are provably true
+            #    (speculation collapsed into fact) and are deleted.
             for _, inst in function.instructions():
                 if isinstance(inst, Assign):
                     folded = fold_constants(inst.expr)
                     if folded != inst.expr:
                         inst.expr = folded
                         round_changed = True
+                elif isinstance(inst, Guard):
+                    folded = fold_constants(inst.cond)
+                    if folded != inst.cond:
+                        inst.cond = folded
+                        round_changed = True
+            for block in function.iter_blocks():
+                survivors = []
+                for inst in block.instructions:
+                    if (
+                        isinstance(inst, Guard)
+                        and isinstance(inst.cond, Const)
+                        and inst.cond.value != 0
+                    ):
+                        mapper.delete_instruction(inst)
+                        round_changed = True
+                    else:
+                        survivors.append(inst)
+                block.instructions = survivors
 
             if not ssa:
                 # Without single-assignment guarantees, substituting uses is

@@ -25,7 +25,7 @@ from ..cfg.graph import ControlFlowGraph
 from ..core.codemapper import ActionKind, NullCodeMapper
 from ..ir.expr import Const, Expr, Var, canonical_expr, free_vars
 from ..ir.function import Function
-from ..ir.instructions import Assign, Call, Load, Phi, Store
+from ..ir.instructions import Assign, Call, Load, Store
 from ..ir.verify import is_ssa
 from .base import MapperLike, Pass
 

@@ -12,14 +12,14 @@ All insertions are recorded as ``add`` actions; use rewrites as
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional
 
 from ..cfg.dominance import DominatorTree
 from ..cfg.graph import ControlFlowGraph
 from ..cfg.loops import find_loops
 from ..core.codemapper import ActionKind, NullCodeMapper
 from ..ir.expr import Var
-from ..ir.function import Function, ProgramPoint
+from ..ir.function import Function
 from ..ir.instructions import Phi
 from ..ir.verify import is_ssa
 from .base import MapperLike, Pass

@@ -22,14 +22,14 @@ to exclude the instruction from point-correspondence anchoring and let
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Optional, Set
 
 from ..cfg.dominance import DominatorTree
 from ..cfg.graph import ControlFlowGraph
 from ..cfg.loops import NaturalLoop, find_loops
 from ..core.codemapper import ActionKind, NullCodeMapper
 from ..ir.function import Function
-from ..ir.instructions import Assign, Instruction
+from ..ir.instructions import Assign
 from ..ir.verify import is_ssa
 from .base import MapperLike, Pass
 
@@ -53,7 +53,7 @@ class LoopInvariantCodeMotion(Pass):
         changed = False
 
         # Innermost loops first so invariants bubble outward across passes.
-        for loop in sorted(loops, key=lambda l: -l.depth()):
+        for loop in sorted(loops, key=lambda lp: -lp.depth()):
             if loop.preheader is None:
                 continue
             changed |= self._hoist_from_loop(function, cfg, domtree, loop, mapper)

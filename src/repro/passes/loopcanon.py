@@ -13,7 +13,7 @@ from outside the loop now flow through the preheader.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
 from ..cfg.dominance import DominatorTree
 from ..cfg.graph import ControlFlowGraph

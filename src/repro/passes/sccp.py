@@ -17,12 +17,12 @@ reports for ``ffmpeg`` in Table 2.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
 from ..analysis.constants import sccp_analysis
 from ..cfg.graph import ControlFlowGraph
 from ..core.codemapper import ActionKind, NullCodeMapper
-from ..ir.expr import Const, Var
+from ..ir.expr import Const
 from ..ir.function import Function
 from ..ir.instructions import Assign, Branch, Jump, Phi
 from ..ir.verify import is_ssa

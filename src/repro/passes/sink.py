@@ -23,14 +23,14 @@ Every move is recorded as a ``sink`` primitive action.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from ..cfg.dominance import DominatorTree
 from ..cfg.graph import ControlFlowGraph
 from ..cfg.loops import find_loops
 from ..core.codemapper import ActionKind, NullCodeMapper
-from ..ir.function import Function, ProgramPoint
-from ..ir.instructions import Assign, Instruction, Phi
+from ..ir.function import Function
+from ..ir.instructions import Assign, Phi
 from ..ir.verify import is_ssa
 from .base import MapperLike, Pass
 

@@ -1,0 +1,231 @@
+"""Profile-guided speculation (SPEC): guard insertion + assumption rewriting.
+
+This pass is the *client* of the OSR framework the paper's Section 5 is
+building towards: an optimizer that assumes facts which are only probably
+true, protected by ``guard`` instructions whose failure triggers a
+deoptimizing OSR back to ``f_base``.
+
+Two speculation kinds are implemented, driven by a
+:class:`~repro.vm.profile.FunctionProfile` collected by the base tier:
+
+* **assume-constant** — a register (or parameter) observed to always hold
+  one value ``v`` gets a ``guard (x == v)`` right after its definition,
+  and every *other* use of ``x`` is rewritten to the constant ``v``
+  (a ``replace`` primitive action).  Downstream, ``constprop``/``sccp``
+  fold the constant through and ``adce`` deletes what became dead.
+
+* **assume-branch-direction** — a conditional branch observed to always
+  go one way is rewritten into ``guard cond; jmp hot`` (``guard !cond``
+  when the else-side is hot).  Blocks that become unreachable are
+  deleted, which is where the speculative tier wins big: whole cold
+  paths disappear from the optimized code.
+
+Every guard registers a *deoptimization anchor* with the CodeMapper
+(:meth:`~repro.core.codemapper.CodeMapper.record_guard_anchor`): the
+original instruction whose program point a failing guard must deoptimize
+to.  For branch guards that anchor is the replaced branch itself — the
+guard has no surviving successor instruction in its block, so the generic
+next-surviving-anchor correspondence would find nothing.
+
+The pass must run *first* in the speculative pipeline, while the clone's
+registers and program points still coincide with the profiled f_base.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..cfg.graph import ControlFlowGraph
+from ..core.codemapper import ActionKind, NullCodeMapper
+from ..ir.expr import BinOp, Const, Expr, UnOp, Var
+from ..ir.function import BasicBlock, Function, ProgramPoint
+from ..ir.instructions import Assign, Branch, Guard, Instruction, Jump, Phi
+from ..ir.verify import is_ssa
+from .base import MapperLike, Pass
+
+__all__ = ["SpeculativeGuards"]
+
+
+class SpeculativeGuards(Pass):
+    """Insert guards for profiled monomorphic values and biased branches."""
+
+    name = "SPEC"
+    tracked_action_kinds = (ActionKind.ADD, ActionKind.DELETE, ActionKind.REPLACE)
+
+    def __init__(
+        self,
+        profile,
+        *,
+        min_samples: int = 4,
+        min_ratio: float = 0.999,
+        speculate_values: bool = True,
+        speculate_branches: bool = True,
+    ) -> None:
+        self.profile = profile
+        self.min_samples = min_samples
+        self.min_ratio = min_ratio
+        self.speculate_values = speculate_values
+        self.speculate_branches = speculate_branches
+        #: Guards inserted by the last ``run`` (for tests and stats).
+        self.inserted_guards: List[Guard] = []
+
+    # ------------------------------------------------------------------ #
+    # Entry point.
+    # ------------------------------------------------------------------ #
+    def run(self, function: Function, mapper: Optional[MapperLike] = None) -> bool:
+        mapper = mapper if mapper is not None else NullCodeMapper()
+        self.inserted_guards = []
+        if self.profile is None or not is_ssa(function):
+            return False
+
+        # Resolve profiled branch points to instruction objects *before*
+        # guard insertion shifts any indices: the profile addressed the
+        # f_base layout, which the untouched clone still shares.
+        biased = (
+            self.profile.biased_branches(
+                min_samples=self.min_samples, min_ratio=self.min_ratio
+            )
+            if self.speculate_branches
+            else {}
+        )
+        branch_plan: List[Tuple[BasicBlock, Branch, bool]] = []
+        for block in function.iter_blocks():
+            term = block.terminator
+            if not isinstance(term, Branch) or term.then_target == term.else_target:
+                continue
+            point = ProgramPoint(block.label, len(block.instructions) - 1)
+            if point in biased and not isinstance(term.cond, Const):
+                branch_plan.append((block, term, biased[point]))
+
+        changed = False
+        if self.speculate_values:
+            changed = self._speculate_values(function, mapper) or changed
+        for block, branch, direction in branch_plan:
+            changed = self._speculate_branch(function, mapper, block, branch, direction) or changed
+        if branch_plan:
+            self._remove_unreachable(function, mapper)
+        return changed
+
+    # ------------------------------------------------------------------ #
+    # Assume-constant speculation.
+    # ------------------------------------------------------------------ #
+    def _speculate_values(self, function: Function, mapper: MapperLike) -> bool:
+        candidates = self.profile.monomorphic_values(
+            min_samples=self.min_samples, min_ratio=self.min_ratio
+        )
+        if not candidates:
+            return False
+
+        use_counts: Dict[str, int] = {}
+        for _, inst in function.instructions():
+            for name in inst.uses():
+                use_counts[name] = use_counts.get(name, 0) + 1
+
+        defined_at: Dict[str, Tuple[BasicBlock, int, Instruction]] = {}
+        for block in function.iter_blocks():
+            for index, inst in enumerate(block.instructions):
+                for name in inst.defs():
+                    defined_at[name] = (block, index, inst)
+
+        #: (block, insertion index, guard, anchor) — applied back-to-front
+        #: per block so earlier indices stay valid; anchors are captured at
+        #: planning time, while every index still addresses an original
+        #: (cloned) instruction.
+        plan: List[Tuple[BasicBlock, int, Guard, Instruction]] = []
+        speculated: Dict[str, Expr] = {}
+        for name, value in sorted(candidates.items()):
+            if use_counts.get(name, 0) == 0:
+                continue
+            if name in function.params:
+                block = function.entry
+                insert_at = 0
+            elif name in defined_at:
+                block, index, inst = defined_at[name]
+                if isinstance(inst, Assign) and isinstance(inst.expr, Const):
+                    continue  # already a constant: nothing to speculate
+                insert_at = index + 1
+                if isinstance(inst, Phi):
+                    # Guards may not sit inside a block's leading phi run.
+                    insert_at = len(block.phis())
+            else:
+                continue
+            guard = Guard(BinOp("eq", Var(name), Const(value)))
+            plan.append((block, insert_at, guard, block.instructions[insert_at]))
+            speculated[name] = Const(value)
+
+        if not plan:
+            return False
+
+        for block, insert_at, guard, anchor in sorted(
+            plan, key=lambda item: item[1], reverse=True
+        ):
+            block.insert(insert_at, guard)
+            mapper.add_instruction(guard, f"speculate in {block.label}")
+            mapper.record_guard_anchor(guard, anchor)
+            self.inserted_guards.append(guard)
+
+        # Rewrite every use outside the guards themselves: the guard must
+        # keep reading the real register so it stays live for deopt.
+        for _, inst in function.instructions():
+            if isinstance(inst, Guard):
+                continue
+            inst.replace_uses(speculated)
+        for name, value in speculated.items():
+            mapper.replace_all_uses_with(name, value)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Assume-branch-direction speculation.
+    # ------------------------------------------------------------------ #
+    def _speculate_branch(
+        self,
+        function: Function,
+        mapper: MapperLike,
+        block: BasicBlock,
+        branch: Branch,
+        direction: bool,
+    ) -> bool:
+        if block.terminator is not branch:
+            return False  # a value guard landed after it, or it was rewritten
+        hot = branch.then_target if direction else branch.else_target
+        guard_cond = branch.cond if direction else UnOp("not", branch.cond)
+        guard = Guard(guard_cond)
+        jump = Jump(hot)
+
+        block.insert(len(block.instructions) - 1, guard)
+        mapper.add_instruction(guard, f"speculate branch in {block.label}")
+        mapper.record_guard_anchor(guard, branch)
+        self.inserted_guards.append(guard)
+
+        mapper.delete_instruction(branch)
+        mapper.add_instruction(jump, f"speculated branch in {block.label}")
+        block.instructions[-1] = jump
+
+        # The cold edge is gone: phis in the cold successor must drop this
+        # predecessor (the block may stay reachable along other edges).
+        cold = branch.else_target if direction else branch.then_target
+        cold_block = function.blocks.get(cold)
+        if cold_block is not None:
+            for phi in cold_block.phis():
+                phi.incoming.pop(block.label, None)
+        return True
+
+    def _remove_unreachable(self, function: Function, mapper: MapperLike) -> None:
+        cfg = ControlFlowGraph(function)
+        reachable = cfg.reachable()
+        unreachable = [
+            label for label in function.block_labels() if label not in reachable
+        ]
+        for label in unreachable:
+            for inst in function.blocks[label].instructions:
+                mapper.delete_instruction(inst)
+        for label in unreachable:
+            function.remove_block(label)
+        if unreachable:
+            cfg = ControlFlowGraph(function)
+            for block in function.iter_blocks():
+                preds = set(cfg.preds(block.label))
+                for phi in block.phis():
+                    for pred in list(phi.incoming):
+                        if pred not in preds:
+                            del phi.incoming[pred]

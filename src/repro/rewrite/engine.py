@@ -10,7 +10,7 @@ mappings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from ..formal.program import FormalProgram
 from .rule import RewriteRule, RuleApplication

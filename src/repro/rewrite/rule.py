@@ -14,8 +14,8 @@ applications, applies them and records which points changed, which is all
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..formal.program import FormalInstruction, FormalProgram
 

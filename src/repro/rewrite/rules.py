@@ -10,7 +10,7 @@ empirically and the OSR machinery relies on them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List
 
 from ..ctl.checker import FormalProgramGraph, ModelChecker
 from ..ctl.formula import AU, AX, BackAU, EU, Not, TRUE
@@ -26,7 +26,7 @@ from ..formal.program import (
     FSkip,
     FormalProgram,
 )
-from ..ir.expr import Const, Expr, Var, free_vars, is_constant_expr, substitute
+from ..ir.expr import free_vars, is_constant_expr, substitute
 from .rule import RewriteRule, RuleApplication
 
 __all__ = [

@@ -20,13 +20,13 @@ source variables with the registers that now carry their values.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..cfg.dominance import DominatorTree, dominance_frontiers
 from ..cfg.graph import ControlFlowGraph
 from ..ir.expr import Const, Expr, Undef, Var, free_vars, substitute
-from ..ir.function import Function, ProgramPoint
-from ..ir.instructions import Alloca, Assign, Instruction, Load, Phi, Store
+from ..ir.function import Function
+from ..ir.instructions import Alloca, Instruction, Load, Phi, Store
 
 __all__ = ["promote_memory_to_registers", "promotable_allocas"]
 

@@ -1,5 +1,20 @@
 """Adaptive multi-tier runtime built on the OSR framework."""
 
-from .runtime import AdaptiveRuntime, TieredFunction
+from .profile import BranchProfile, FunctionProfile, RegisterProfile, ValueProfile
+from .runtime import (
+    AdaptiveRuntime,
+    CachedContinuation,
+    ContinuationKey,
+    TieredFunction,
+)
 
-__all__ = ["AdaptiveRuntime", "TieredFunction"]
+__all__ = [
+    "AdaptiveRuntime",
+    "TieredFunction",
+    "CachedContinuation",
+    "ContinuationKey",
+    "ValueProfile",
+    "FunctionProfile",
+    "RegisterProfile",
+    "BranchProfile",
+]

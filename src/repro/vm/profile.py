@@ -1,0 +1,161 @@
+"""Runtime value and branch profiles feeding the speculative tier.
+
+The base tier of the adaptive runtime executes functions in the
+interpreter with a :class:`ValueProfile` attached.  The profile records,
+per function:
+
+* the observed values of every defined register (parameters, assigns,
+  loads and phi results), with a bounded per-register histogram, and
+* the taken/not-taken counts of every conditional branch.
+
+When a function gets hot, :class:`~repro.passes.speculate.SpeculativeGuards`
+asks the profile two questions: which registers were *monomorphic*
+(always — or almost always — one value) and which branches were heavily
+*biased* in one direction.  Those are the facts the speculative tier
+assumes and protects with ``guard`` instructions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..ir.function import ProgramPoint
+
+__all__ = ["RegisterProfile", "BranchProfile", "FunctionProfile", "ValueProfile"]
+
+#: Histograms stop distinguishing values past this many distinct entries;
+#: a register that overflows is certainly not monomorphic.
+MAX_DISTINCT_VALUES = 8
+
+
+@dataclass
+class RegisterProfile:
+    """Bounded histogram of the values one register was observed to hold."""
+
+    counts: Counter = field(default_factory=Counter)
+    overflowed: bool = False
+
+    def record(self, value: int) -> None:
+        if self.overflowed:
+            return
+        if value not in self.counts and len(self.counts) >= MAX_DISTINCT_VALUES:
+            self.overflowed = True
+            return
+        self.counts[value] += 1
+
+    @property
+    def samples(self) -> int:
+        return sum(self.counts.values())
+
+    def dominant(self) -> Tuple[int, float]:
+        """The most frequent value and its share of all samples."""
+        if not self.counts:
+            return 0, 0.0
+        value, count = self.counts.most_common(1)[0]
+        return value, count / self.samples
+
+
+@dataclass
+class BranchProfile:
+    """Taken/not-taken counts of one conditional branch."""
+
+    taken: int = 0
+    not_taken: int = 0
+
+    @property
+    def samples(self) -> int:
+        return self.taken + self.not_taken
+
+    def bias(self) -> Tuple[bool, float]:
+        """The dominant direction and its share of all executions."""
+        if self.samples == 0:
+            return True, 0.0
+        if self.taken >= self.not_taken:
+            return True, self.taken / self.samples
+        return False, self.not_taken / self.samples
+
+
+@dataclass
+class FunctionProfile:
+    """All recorded facts about one function."""
+
+    values: Dict[str, RegisterProfile] = field(default_factory=dict)
+    branches: Dict[ProgramPoint, BranchProfile] = field(default_factory=dict)
+
+    def monomorphic_values(
+        self, *, min_samples: int = 4, min_ratio: float = 0.999
+    ) -> Dict[str, int]:
+        """Registers that (essentially) always held one value.
+
+        The default ratio is strict: a register qualifies only when every
+        recorded sample (modulo rounding) agreed.  Guards make weaker
+        speculation *safe*, but monomorphic facts are the profitable ones.
+        """
+        result: Dict[str, int] = {}
+        for name, prof in self.values.items():
+            if prof.overflowed or prof.samples < min_samples:
+                continue
+            value, ratio = prof.dominant()
+            if ratio >= min_ratio:
+                result[name] = value
+        return result
+
+    def biased_branches(
+        self, *, min_samples: int = 4, min_ratio: float = 0.999
+    ) -> Dict[ProgramPoint, bool]:
+        """Branch points that (essentially) always went one way.
+
+        Maps the branch's program point to the dominant direction
+        (``True`` = then-target).
+        """
+        result: Dict[ProgramPoint, bool] = {}
+        for point, prof in self.branches.items():
+            if prof.samples < min_samples:
+                continue
+            direction, ratio = prof.bias()
+            if ratio >= min_ratio:
+                result[point] = direction
+        return result
+
+
+class ValueProfile:
+    """Profile sink for the interpreter, keyed by function name.
+
+    Implements the duck-typed profiler interface of
+    :class:`~repro.ir.interp.Interpreter`: ``record_value`` and
+    ``record_branch``.
+    """
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionProfile] = {}
+
+    def function(self, name: str) -> FunctionProfile:
+        profile = self.functions.get(name)
+        if profile is None:
+            profile = self.functions[name] = FunctionProfile()
+        return profile
+
+    # ------------------------------------------------------------------ #
+    # Interpreter hooks.
+    # ------------------------------------------------------------------ #
+    def record_value(self, function: str, register: str, value: int) -> None:
+        profile = self.function(function)
+        reg = profile.values.get(register)
+        if reg is None:
+            reg = profile.values[register] = RegisterProfile()
+        reg.record(value)
+
+    def record_branch(self, function: str, point: ProgramPoint, taken: bool) -> None:
+        profile = self.function(function)
+        br = profile.branches.get(point)
+        if br is None:
+            br = profile.branches[point] = BranchProfile()
+        if taken:
+            br.taken += 1
+        else:
+            br.not_taken += 1
+
+    def __repr__(self) -> str:
+        return f"<ValueProfile {len(self.functions)} functions>"

@@ -1,37 +1,88 @@
-"""TinyVM-like adaptive runtime.
+"""TinyVM-like adaptive runtime with a speculative tier.
 
-A small multi-tier execution engine that exercises the OSR framework the
-way a JIT would (the paper's TinyVM testbed plays the same role):
+A multi-tier execution engine that exercises the OSR framework the way a
+speculating JIT would (the paper's TinyVM testbed plays the same role;
+the dispatched-OSR tier follows Flückiger et al.'s *Deoptless*):
 
-* functions start executing in the *base* tier (the unoptimized f_base,
-  run by the interpreter);
-* a per-function hotness counter is bumped on every call; when it crosses
-  the threshold, the runtime builds the optimized version with the
-  OSR-aware pipeline and an OSR mapping, and **transfers the currently
-  pending execution** to the optimized code at the next mapped program
-  point (an optimizing OSR at a loop body point, not just at the next
-  call);
-* a deoptimizing OSR can be requested at any mapped point of the
-  optimized code (``deoptimize_at``), transferring execution back to
-  f_base — the mechanism speculative optimizations rely on.
+* **Tier 0 — base.**  Functions start in the interpreter running f_base,
+  with a :class:`~repro.vm.profile.ValueProfile` recording register
+  values and branch directions.
 
-The runtime is deliberately small: its purpose is to demonstrate and test
-end-to-end transitions, not to be fast.
+* **Tier 1 — speculative optimized.**  A per-function hotness counter is
+  bumped on every call; at the threshold the runtime builds an optimized
+  version with the OSR-aware pipeline *prefixed by profile-guided guard
+  insertion* (:func:`~repro.passes.speculative_pipeline`): monomorphic
+  registers become guarded constants, biased branches become guarded
+  jumps, and ``constprop``/``sccp``/``adce`` prune the cold paths the
+  guards made dead.  The currently pending execution is transferred to
+  the optimized code mid-loop (an optimizing OSR), but only after
+  checking that every speculated fact that will *not* be re-checked past
+  the landing point actually holds for the in-flight state.  Speculation
+  is installed only when every guard point is covered by the backward
+  (deoptimization) mapping — an uncovered guard would strand execution
+  on failure — otherwise the runtime falls back to the plain pipeline.
+
+* **Guard failure — deoptimizing OSR.**  A failing guard raises
+  :class:`~repro.ir.interp.GuardFailure`; the runtime transfers the live
+  state through the backward mapping (compensation code, liveness
+  restriction) and finishes the call in f_base.
+
+* **Tier 2 — dispatched OSR continuations.**  On a guard failure the
+  runtime also *caches* a specialized continuation for that (guard
+  point, live-state shape): an OSRKit-style f_base continuation with the
+  compensation code baked into its entry block, unreachable blocks
+  pruned and constants folded.  A repeated failure with the same shape
+  dispatches straight to the cached continuation instead of falling all
+  the way back to f_base and re-warming — the Deoptless move.
+
+The runtime is deliberately small: its purpose is to demonstrate and
+test end-to-end transitions, not to be fast.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..core.mapping import OSRMapping
 from ..core.osr_trans import OSRTransDriver, VersionPair
+from ..core.osrkit import ContinuationInfo, make_continuation
 from ..core.reconstruct import ReconstructionMode
+from ..ir.expr import evaluate, free_vars
 from ..ir.function import Function, ProgramPoint
-from ..ir.interp import ExecutionResult, Interpreter, Memory, StepLimitExceeded
-from ..passes import standard_pipeline
+from ..ir.instructions import Guard
+from ..ir.interp import ExecutionResult, GuardFailure, Interpreter, Memory
+from ..passes import (
+    ConstantPropagationPass,
+    speculative_pipeline,
+    standard_pipeline,
+)
+from .profile import ValueProfile
 
-__all__ = ["TieredFunction", "AdaptiveRuntime"]
+__all__ = [
+    "ContinuationKey",
+    "CachedContinuation",
+    "TieredFunction",
+    "AdaptiveRuntime",
+]
+
+#: Identity of a dispatched-OSR target: the failing guard's program point
+#: in the optimized code plus the *shape* of the live state being
+#: transferred (the set of variables live at the landing point).  For the
+#: strict mappings the runtime builds today the shape is fully determined
+#: by the point — its job is defensive: a cached continuation's parameter
+#: list derives from the shape, so if a future non-strict mapping ever
+#: produces a different live set at the same point, it gets its own
+#: continuation instead of a mis-parameterized call.
+ContinuationKey = Tuple[ProgramPoint, FrozenSet[str]]
+
+
+@dataclass
+class CachedContinuation:
+    """One specialized continuation plus its dispatch statistics."""
+
+    info: ContinuationInfo
+    hits: int = 0
 
 
 @dataclass
@@ -42,9 +93,20 @@ class TieredFunction:
     pair: Optional[VersionPair] = None
     forward_mapping: Optional[OSRMapping] = None
     backward_mapping: Optional[OSRMapping] = None
+    speculative: bool = False
+    #: Registers the ``avail`` deopt compensations read even though they
+    #: are dead in the optimized code (the paper's K_avail): the runtime
+    #: must keep them alive across an optimizing OSR entry.
+    deopt_keep_alive: FrozenSet[str] = frozenset()
     call_count: int = 0
     osr_entries: int = 0
     osr_exits: int = 0
+    guard_failures: int = 0
+    dispatch_hits: int = 0
+    dispatch_misses: int = 0
+    continuations: Dict[ContinuationKey, CachedContinuation] = field(
+        default_factory=dict
+    )
 
     @property
     def optimized(self) -> Optional[Function]:
@@ -56,7 +118,7 @@ class TieredFunction:
 
 
 class AdaptiveRuntime:
-    """A two-tier runtime with hotness-triggered optimizing OSR."""
+    """An N-tier runtime: base → speculative optimized → dispatched continuations."""
 
     def __init__(
         self,
@@ -65,11 +127,18 @@ class AdaptiveRuntime:
         passes=None,
         step_limit: int = 2_000_000,
         mode: ReconstructionMode = ReconstructionMode.AVAIL,
+        speculate: bool = True,
+        min_samples: int = 4,
+        min_ratio: float = 0.999,
     ) -> None:
         self.hotness_threshold = hotness_threshold
-        self.driver = OSRTransDriver(passes if passes is not None else standard_pipeline())
+        self.passes = passes  # explicit pipeline overrides speculation
         self.step_limit = step_limit
         self.mode = mode
+        self.speculate = speculate and passes is None
+        self.min_samples = min_samples
+        self.min_ratio = min_ratio
+        self.profile = ValueProfile()
         self.functions: Dict[str, TieredFunction] = {}
         #: Log of (function, kind, point) transition events, for tests/examples.
         self.events: List[Tuple[str, str, ProgramPoint]] = []
@@ -83,7 +152,34 @@ class AdaptiveRuntime:
         return state
 
     def _compile(self, state: TieredFunction) -> None:
-        state.pair = self.driver.run(state.base)
+        """Build the optimized tier, speculatively when safely possible."""
+        if self.speculate:
+            pipeline = speculative_pipeline(
+                self.profile.function(state.base.name),
+                min_samples=self.min_samples,
+                min_ratio=self.min_ratio,
+            )
+            pair = OSRTransDriver(pipeline).run(state.base)
+            backward, uncovered = pair.guarded_backward_mapping(self.mode)
+            if not uncovered:
+                state.pair = pair
+                state.backward_mapping = backward
+                state.speculative = bool(pair.guard_points())
+                state.forward_mapping = pair.forward_mapping(self.mode)
+                state.deopt_keep_alive = frozenset().union(
+                    *(
+                        backward[point].compensation.keep_alive
+                        for point in pair.guard_points()
+                    )
+                ) if pair.guard_points() else frozenset()
+                return
+            # Some guard cannot deoptimize: discard the speculative build.
+            self.events.append(
+                (state.base.name, "speculation-rejected", uncovered[0])
+            )
+        pipeline = self.passes if self.passes is not None else standard_pipeline()
+        state.pair = OSRTransDriver(pipeline).run(state.base)
+        state.speculative = False
         state.forward_mapping = state.pair.forward_mapping(self.mode)
         state.backward_mapping = state.pair.backward_mapping(self.mode)
 
@@ -101,11 +197,21 @@ class AdaptiveRuntime:
         cfg = ControlFlowGraph(state.base)
         loops = find_loops(cfg)
         loop_blocks = {label for loop in loops for label in loop.body}
-        mapped = state.forward_mapping.domain()
-        for point in mapped:
-            if isinstance(point, ProgramPoint) and point.block in loop_blocks:
+        from ..ir.instructions import Phi
+
+        # Phi points can never pause the interpreter (a block's leading
+        # phi run executes as one parallel step before break_at checks),
+        # so they cannot serve as OSR origins.
+        candidates = [
+            point
+            for point in state.forward_mapping.domain()
+            if isinstance(point, ProgramPoint)
+            and not isinstance(state.base.instruction_at(point), Phi)
+        ]
+        for point in candidates:
+            if point.block in loop_blocks:
                 return point
-        return mapped[0] if mapped else None
+        return candidates[0] if candidates else None
 
     # ------------------------------------------------------------------ #
     # Execution.
@@ -130,10 +236,25 @@ class AdaptiveRuntime:
             if osr_point is not None:
                 return self._call_with_osr(state, args, memory, osr_point)
 
-        # Steady state: run whichever tier is current.
-        target = state.optimized if state.is_compiled else state.base
-        assert target is not None
-        return Interpreter(step_limit=self.step_limit).run(target, args, memory=memory)
+        if state.is_compiled:
+            return self._run_optimized(state, args, memory)
+        return Interpreter(step_limit=self.step_limit, profiler=self.profile).run(
+            state.base, args, memory=memory
+        )
+
+    def _run_optimized(
+        self,
+        state: TieredFunction,
+        args: Sequence[int],
+        memory: Optional[Memory],
+    ) -> ExecutionResult:
+        assert state.pair is not None
+        try:
+            return Interpreter(step_limit=self.step_limit).run(
+                state.pair.optimized, args, memory=memory
+            )
+        except GuardFailure as failure:
+            return self._handle_guard_failure(state, failure)
 
     def _call_with_osr(
         self,
@@ -143,23 +264,186 @@ class AdaptiveRuntime:
         osr_point: ProgramPoint,
     ) -> ExecutionResult:
         assert state.pair is not None and state.forward_mapping is not None
-        interpreter = Interpreter(step_limit=self.step_limit)
+        interpreter = Interpreter(step_limit=self.step_limit, profiler=self.profile)
         paused = interpreter.run(state.base, args, memory=memory, break_at=osr_point)
         if paused.stopped_at is None:
             return paused  # the loop never ran; nothing to transfer
         entry = state.forward_mapping.lookup(osr_point)
         assert entry is not None
+
+        def finish_in_base() -> ExecutionResult:
+            """Reject the OSR entry: complete this call in f_base."""
+            self.events.append((state.base.name, "osr-entry-rejected", osr_point))
+            return interpreter.resume(
+                state.base,
+                paused.stopped_at,
+                paused.env,
+                memory=paused.memory,
+                previous_block=paused.previous_block,
+            )
+
+        # Entering speculative code mid-flight skips every guard that sits
+        # before the landing point; their assumptions must be validated
+        # against the in-flight state instead of silently trusted.
+        if state.speculative and not self._speculation_holds(
+            state, paused.env, entry.target
+        ):
+            return finish_in_base()
+
         landing_env = state.forward_mapping.transfer(osr_point, paused.env)
+
+        # K_avail support: deopt compensations may read values that are
+        # dead at the landing point of the *forward* transition; the
+        # runtime keeps them alive by carrying them across.  If one is
+        # not reconstructible from the paused base state, entering the
+        # optimized code would make a later guard failure unrecoverable —
+        # finish this call in f_base instead.
+        for name in sorted(state.deopt_keep_alive):
+            if name in landing_env:
+                continue
+            if name not in paused.env:
+                return finish_in_base()
+            landing_env[name] = paused.env[name]
+
         state.osr_entries += 1
         self.events.append((state.base.name, "optimizing-osr", osr_point))
-        return Interpreter(step_limit=self.step_limit).resume(
-            state.pair.optimized,
+        try:
+            return Interpreter(step_limit=self.step_limit).resume(
+                state.pair.optimized,
+                entry.target,
+                landing_env,
+                memory=paused.memory,
+                previous_block=paused.previous_block,
+            )
+        except GuardFailure as failure:
+            return self._handle_guard_failure(state, failure)
+
+    def _speculation_holds(
+        self,
+        state: TieredFunction,
+        env: Dict[str, int],
+        landing: ProgramPoint,
+    ) -> bool:
+        """Check that the speculated facts hold for an in-flight state.
+
+        The guards needing validation are exactly those that *dominate*
+        the landing point: an OSR entry jumps over them, yet the code it
+        lands in already relies on their speculated constants.  Their
+        conditions are evaluated against the paused f_base environment —
+        the speculative pass keeps register names aligned with f_base,
+        and a dominating guard's condition registers were computed by
+        the base run before the pause, with this iteration's values.
+
+        A guard that does *not* dominate the landing point needs no
+        check: it sits immediately after its speculated definition (or
+        in place of its speculated branch), so any path from the landing
+        point to a speculated use re-executes the definition and the
+        guard first, which protects itself.  A dominating guard whose
+        condition cannot be evaluated rejects the entry: correctness
+        over speed.
+        """
+        assert state.pair is not None
+        from ..cfg.dominance import DominatorTree
+        from ..cfg.graph import ControlFlowGraph
+
+        optimized = state.pair.optimized
+        domtree = DominatorTree(ControlFlowGraph(optimized))
+        for point, inst in optimized.instructions():
+            if not isinstance(inst, Guard):
+                continue
+            if point.block == landing.block:
+                if point.index >= landing.index:
+                    continue
+            elif not (
+                domtree.dominates(point.block, landing.block)
+            ):
+                continue
+            if not free_vars(inst.cond) <= set(env):
+                return False  # cannot validate the assumption: stay in f_base
+            if evaluate(inst.cond, env) == 0:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Guard failure: deoptimizing OSR + dispatched continuations.
+    # ------------------------------------------------------------------ #
+    def _handle_guard_failure(
+        self,
+        state: TieredFunction,
+        failure: GuardFailure,
+    ) -> ExecutionResult:
+        assert state.backward_mapping is not None
+        state.guard_failures += 1
+        entry = state.backward_mapping.lookup(failure.point)
+        if entry is None:  # pragma: no cover - _compile guarantees coverage
+            raise RuntimeError(
+                f"guard at {failure.point} fired with no deoptimization mapping"
+            )
+        landing_env = state.backward_mapping.transfer(failure.point, failure.env)
+        key: ContinuationKey = (failure.point, frozenset(landing_env))
+
+        cached = state.continuations.get(key)
+        if cached is not None:
+            # Dispatched OSR: jump straight into the specialized
+            # continuation instead of re-deoptimizing through f_base.
+            cached.hits += 1
+            state.dispatch_hits += 1
+            self.events.append((state.base.name, "dispatched-osr", failure.point))
+            # Strict lookup: a parameter missing from both environments
+            # is a state-transfer bug that must fail loudly, not run the
+            # continuation on a fabricated value.
+            call_args = [
+                failure.env[param] if param in failure.env else landing_env[param]
+                for param in cached.info.entry_params
+            ]
+            return Interpreter(step_limit=self.step_limit).run(
+                cached.info.function, call_args, memory=failure.memory
+            )
+
+        # Slow path: classic deoptimizing OSR back into f_base.
+        state.dispatch_misses += 1
+        state.osr_exits += 1
+        self.events.append((state.base.name, "deoptimizing-osr", failure.point))
+        result = Interpreter(step_limit=self.step_limit).resume(
+            state.base,
             entry.target,
             landing_env,
-            memory=paused.memory,
-            previous_block=paused.previous_block,
+            memory=failure.memory,
+            previous_block=failure.previous_block,
         )
+        # Pay the continuation build off the critical path of *this*
+        # failure; the next failure with the same shape dispatches.
+        state.continuations[key] = CachedContinuation(
+            self._build_continuation(state, failure.point, key)
+        )
+        return result
 
+    def _build_continuation(
+        self,
+        state: TieredFunction,
+        point: ProgramPoint,
+        key: ContinuationKey,
+    ) -> ContinuationInfo:
+        """Specialize an f_base continuation for one guard's deopt target."""
+        assert state.backward_mapping is not None
+        entry = state.backward_mapping[point]
+        live_at_source = sorted(state.backward_mapping.source_view.live_in(point))
+        info = make_continuation(
+            state.base,
+            entry.target,
+            entry.compensation,
+            live_at_source,
+            name=f"{state.base.name}.deopt.{point.block}.{point.index}",
+        )
+        # The continuation is not SSA (compensation re-defines registers of
+        # the code it jumps into), so only run transforms that are sound
+        # without SSA: constant folding.
+        ConstantPropagationPass().run(info.function)
+        return info
+
+    # ------------------------------------------------------------------ #
+    # Forced deoptimization (external invalidation).
+    # ------------------------------------------------------------------ #
     def deoptimize_at(
         self,
         name: str,
@@ -170,9 +454,10 @@ class AdaptiveRuntime:
     ) -> ExecutionResult:
         """Run the optimized code until ``point``, then OSR back to f_base.
 
-        Models invalidation of a speculative assumption: the optimized
-        version is abandoned mid-flight and execution completes in the
-        unoptimized code.
+        Models invalidation of a speculative assumption by an external
+        event (the classic deoptimization the seed runtime supported).
+        Raises :class:`KeyError` when ``point`` has no backward mapping
+        entry — deoptimization is simply not supported there.
         """
         state = self.functions[name]
         if not state.is_compiled:
@@ -181,9 +466,14 @@ class AdaptiveRuntime:
         entry = state.backward_mapping.lookup(point)
         if entry is None:
             raise KeyError(f"deoptimization not supported at {point}")
-        paused = Interpreter(step_limit=self.step_limit).run(
-            state.pair.optimized, args, memory=memory, break_at=point
-        )
+        try:
+            paused = Interpreter(step_limit=self.step_limit).run(
+                state.pair.optimized, args, memory=memory, break_at=point
+            )
+        except GuardFailure as failure:
+            # A speculation failed before reaching the requested point;
+            # the guard's own deoptimization wins.
+            return self._handle_guard_failure(state, failure)
         if paused.stopped_at is None:
             return paused
         landing_env = state.backward_mapping.transfer(point, paused.env)
@@ -202,6 +492,12 @@ class AdaptiveRuntime:
         return {
             "calls": state.call_count,
             "compiled": int(state.is_compiled),
+            "speculative": int(state.speculative),
+            "guards": len(state.pair.guard_points()) if state.pair else 0,
             "osr_entries": state.osr_entries,
             "osr_exits": state.osr_exits,
+            "guard_failures": state.guard_failures,
+            "dispatch_hits": state.dispatch_hits,
+            "dispatch_misses": state.dispatch_misses,
+            "continuations": len(state.continuations),
         }

@@ -10,8 +10,20 @@ from .programs import (
 )
 from .generator import random_formal_program, random_minic_function
 from .spec_corpus import SPEC_BENCHMARKS, CorpusFunction, spec_corpus
+from .speculative import (
+    SPECULATIVE_NAMES,
+    SPECULATIVE_SOURCES,
+    speculative_arguments,
+    speculative_function,
+    speculative_source,
+)
 
 __all__ = [
+    "SPECULATIVE_NAMES",
+    "SPECULATIVE_SOURCES",
+    "speculative_source",
+    "speculative_function",
+    "speculative_arguments",
     "BENCHMARK_NAMES",
     "BENCHMARK_SOURCES",
     "benchmark_source",

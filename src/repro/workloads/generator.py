@@ -17,7 +17,7 @@ Both are deterministic in their ``seed`` so experiments are reproducible.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..formal.program import (
     FAssign,
@@ -117,7 +117,7 @@ def random_minic_function(
     budget = [statements]
     while budget[0] > 0:
         lines.extend(statement("  ", 0, budget))
-    lines.append(f"  return s + a * 2 + b - c;")
+    lines.append("  return s + a * 2 + b - c;")
     lines.append("}")
     return "\n".join(lines)
 

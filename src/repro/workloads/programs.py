@@ -20,7 +20,7 @@ with debug metadata), and ``benchmark_arguments`` provides input values
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..frontend import compile_function
 from ..ir.function import Function

@@ -13,13 +13,13 @@ identical to the paper's.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from ..frontend import compile_function
 from ..ir.function import Function
 from .generator import random_minic_function
-from .programs import BENCHMARK_NAMES, BENCHMARK_SOURCES
+from .programs import BENCHMARK_SOURCES
 
 __all__ = ["SPEC_BENCHMARKS", "CorpusFunction", "spec_corpus"]
 

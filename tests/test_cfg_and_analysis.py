@@ -1,6 +1,5 @@
 """Tests for CFG utilities (dominance, loops) and the dataflow analyses."""
 
-import pytest
 
 from repro.analysis import (
     available_expressions,

@@ -12,11 +12,9 @@ from repro.ctl import (
     BackAX,
     FormalProgramGraph,
     ModelChecker,
-    Not,
     TRUE,
     formal_defines,
     formal_lives,
-    formal_uses,
 )
 from repro.formal import (
     FAssign,
@@ -44,7 +42,6 @@ from repro.rewrite import (
     ConstantPropagation,
     DeadCodeElimination,
     apply_rule,
-    apply_rules,
 )
 from repro.workloads import random_formal_program
 

@@ -4,10 +4,8 @@ import pytest
 
 from repro.ir import (
     AbortExecution,
-    FunctionBuilder,
     Interpreter,
     Memory,
-    Module,
     ProgramPoint,
     StepLimitExceeded,
     parse_function,

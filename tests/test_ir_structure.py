@@ -6,14 +6,12 @@ from repro.ir import (
     Assign,
     Branch,
     Call,
-    FunctionBuilder,
     Jump,
     Load,
     Nop,
     ParseError,
     Phi,
     ProgramPoint,
-    Return,
     Store,
     VerificationError,
     Var,

@@ -4,15 +4,11 @@ import pytest
 
 from repro.core import (
     ActionKind,
-    CannotReconstruct,
     CompensationCode,
-    FunctionView,
     OSRPointClass,
     OSRTransDriver,
     ReconstructionMode,
-    build_compensation,
     check_ir_osr_transition,
-    classify_point,
     clone_for_optimization,
     make_continuation,
     perform_osr,
