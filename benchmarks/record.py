@@ -1,6 +1,6 @@
-"""Record (and check) the speculative-tier benchmark metrics.
+"""Record (and check) the speculative-tier and backend benchmark metrics.
 
-Emits ``BENCH_speculation.json`` with two kinds of metrics:
+Emits ``BENCH_speculation.json`` with three kinds of metrics:
 
 * **counters** — deterministic facts about a scripted tiering scenario
   (guards inserted, deopt events, continuation-cache hit rate).  These
@@ -12,13 +12,22 @@ Emits ``BENCH_speculation.json`` with two kinds of metrics:
   first order; the check compares them against the baseline within a
   multiplicative tolerance.
 
+* **backend speedups** — ``interp_vs_compiled`` per kernel: how much
+  faster the closure-compiled backend runs each straight-line and loop
+  kernel than the tree-walking interpreter (compile time excluded; it is
+  reported separately).  The check enforces both baseline drift *and* a
+  hard floor (``--speedup-floor``, default 3.0) on the loop kernels:
+  a compiled tier that is not decisively faster than the interpreter is
+  a regression even if it is "stable".
+
 Usage::
 
     python benchmarks/record.py                      # record a fresh file
     python benchmarks/record.py --check              # compare vs baseline
     python benchmarks/record.py --repeats 50         # steadier timings
 
-CI runs ``--check`` as the benchmark-regression guard.
+CI runs ``--check`` as the benchmark-regression guard and uploads the
+fresh ``BENCH_*.json`` as a workflow artifact.
 """
 
 from __future__ import annotations
@@ -31,20 +40,48 @@ import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO_ROOT / "src"))
+
+# Prefer an installed ``repro`` (CI installs with ``pip install -e .``) so
+# this script exercises exactly the package the test jobs import; fall
+# back to the in-tree sources for a plain checkout.
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core import OSRTransDriver, perform_osr  # noqa: E402
 from repro.ir import Interpreter  # noqa: E402
 from repro.passes import speculative_pipeline  # noqa: E402
-from repro.vm import AdaptiveRuntime, ValueProfile  # noqa: E402
+from repro.vm import (  # noqa: E402
+    AdaptiveRuntime,
+    CompiledBackend,
+    InterpreterBackend,
+    ValueProfile,
+)
 from repro.workloads import (  # noqa: E402
+    LOOP_KERNEL_NAMES,
+    STRAIGHT_LINE_NAMES,
+    benchmark_arguments,
+    benchmark_function,
     speculative_arguments,
     speculative_function,
+    straightline_arguments,
+    straightline_function,
 )
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent / "BENCH_speculation.json"
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_baseline.json"
 KERNEL = "dispatch"
+
+#: Kernels timed for the interpreter-vs-compiled speedup: every
+#: straight-line kernel (they isolate per-instruction dispatch overhead)
+#: plus a representative sample of the loop kernels, run on larger
+#: inputs so loop residency dominates.  Only the loop kernels carry the
+#: hard speedup floor.
+BACKEND_LOOP_KERNELS = ("h264ref", "perlbench", "sjeng")
+assert set(BACKEND_LOOP_KERNELS) <= set(LOOP_KERNEL_NAMES)
+BACKEND_STRAIGHT_KERNELS = tuple(STRAIGHT_LINE_NAMES)
+BACKEND_KERNEL_SIZE = 192
 
 
 def _median_seconds(thunk, repeats: int) -> float:
@@ -57,9 +94,16 @@ def _median_seconds(thunk, repeats: int) -> float:
 
 
 def _scenario_counters() -> dict:
-    """Deterministic tiering scenario: warm, then repeated violations."""
+    """Deterministic tiering scenario: warm, then repeated violations.
+
+    The optimized-tier backend is pinned (rather than inherited from
+    ``REPRO_BACKEND``) so a recording is comparable to the committed
+    baseline no matter what the invoking shell exports.  Counters are
+    backend-invariant anyway — the differential tests enforce that —
+    but the timing ratios below are not.
+    """
     function = speculative_function(KERNEL)
-    rt = AdaptiveRuntime(hotness_threshold=3, min_samples=2)
+    rt = AdaptiveRuntime(hotness_threshold=3, min_samples=2, opt_backend="compiled")
     rt.register(function)
     for _ in range(5):
         args, memory = speculative_arguments(KERNEL)
@@ -117,8 +161,10 @@ def _timing_ratios(repeats: int) -> dict:
     )
 
     # Runtime-level costs: a warm optimized call, a guard failure handled
-    # by full deopt (+ continuation build), and a dispatched hit.
-    rt = AdaptiveRuntime(hotness_threshold=7, min_samples=2)
+    # by full deopt (+ continuation build), and a dispatched hit.  The
+    # backend is pinned: these ratios depend on the engine, and the
+    # committed baseline was recorded against the compiled tier.
+    rt = AdaptiveRuntime(hotness_threshold=7, min_samples=2, opt_backend="compiled")
     rt.register(function)
     for _ in range(7):  # six profiled base calls, the seventh compiles
         warm_args, warm_memory = speculative_arguments(KERNEL)
@@ -153,16 +199,70 @@ def _timing_ratios(repeats: int) -> dict:
     }
 
 
+def _backend_speedups(repeats: int) -> dict:
+    """Interpreter-vs-compiled wall-clock ratio per kernel.
+
+    Each kernel is compiled once up front (the warmup call also validates
+    result parity); the timed region is pure execution, so the ratio
+    measures steady-state engine speed, not compilation.  Compile time is
+    reported separately as ``compile_seconds``.
+    """
+    interp = InterpreterBackend(step_limit=50_000_000)
+    compiled = CompiledBackend(step_limit=50_000_000)
+
+    kernels = []
+    for name in BACKEND_STRAIGHT_KERNELS:
+        kernels.append((name, straightline_function(name), straightline_arguments(name)))
+    for name in BACKEND_LOOP_KERNELS:
+        kernels.append(
+            (
+                name,
+                benchmark_function(name),
+                benchmark_arguments(name, size=BACKEND_KERNEL_SIZE),
+            )
+        )
+
+    speedups: dict = {}
+    compile_seconds = 0.0
+    for name, function, (args, memory) in kernels:
+        start = time.perf_counter()
+        compiled.compiler.compile(function)  # pure lowering, no execution
+        compile_seconds += time.perf_counter() - start
+        warm = compiled.run(function, args, memory=memory.copy())
+        reference = interp.run(function, args, memory=memory.copy())
+        if warm.value != reference.value:
+            raise AssertionError(
+                f"backend mismatch on {name}: interp={reference.value} "
+                f"compiled={warm.value}"
+            )
+        interp_time = _median_seconds(
+            lambda: interp.run(function, args, memory=memory.copy()), repeats
+        )
+        compiled_time = _median_seconds(
+            lambda: compiled.run(function, args, memory=memory.copy()), repeats
+        )
+        speedups[name] = round(interp_time / compiled_time, 4)
+
+    loop_ratios = [speedups[name] for name in BACKEND_LOOP_KERNELS]
+    return {
+        "interp_vs_compiled": speedups,
+        "loop_kernel_min_speedup": round(min(loop_ratios), 4),
+        "loop_kernels": list(BACKEND_LOOP_KERNELS),
+        "compile_seconds": round(compile_seconds, 4),
+    }
+
+
 def record(repeats: int) -> dict:
     return {
         "kernel": KERNEL,
         "counters": _scenario_counters(),
         "ratios": _timing_ratios(repeats),
+        "backend": _backend_speedups(repeats),
         "meta": {"repeats": repeats},
     }
 
 
-def check(current: dict, baseline: dict, tolerance: float) -> list:
+def check(current: dict, baseline: dict, tolerance: float, speedup_floor: float) -> list:
     problems = []
     for key, expected in baseline["counters"].items():
         actual = current["counters"].get(key)
@@ -179,6 +279,32 @@ def check(current: dict, baseline: dict, tolerance: float) -> list:
                 f"ratio {key}: {actual} vs baseline {expected} "
                 f"(drift {drift:.2f}x > tolerance {tolerance}x)"
             )
+
+    # Backend speedups: drift vs baseline AND a hard floor on the loop
+    # kernels — the compiled tier exists to be decisively faster.
+    current_backend = current.get("backend", {})
+    baseline_backend = baseline.get("backend", {})
+    for key, expected in baseline_backend.get("interp_vs_compiled", {}).items():
+        actual = current_backend.get("interp_vs_compiled", {}).get(key)
+        if actual is None or actual <= 0:
+            problems.append(f"backend speedup {key}: missing or non-positive ({actual})")
+            continue
+        drift = max(actual, expected) / min(actual, expected)
+        if drift > tolerance:
+            problems.append(
+                f"backend speedup {key}: {actual} vs baseline {expected} "
+                f"(drift {drift:.2f}x > tolerance {tolerance}x)"
+            )
+    floor_kernels = baseline_backend.get(
+        "loop_kernels", list(BACKEND_LOOP_KERNELS)
+    )
+    for key in floor_kernels:
+        actual = current_backend.get("interp_vs_compiled", {}).get(key)
+        if actual is None or actual < speedup_floor:
+            problems.append(
+                f"loop kernel {key}: compiled speedup {actual} is below the "
+                f"floor of {speedup_floor}x"
+            )
     return problems
 
 
@@ -187,6 +313,12 @@ def main(argv=None) -> int:
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
     parser.add_argument("--tolerance", type=float, default=4.0)
+    parser.add_argument(
+        "--speedup-floor",
+        type=float,
+        default=3.0,
+        help="minimum accepted compiled-backend speedup on the loop kernels",
+    )
     parser.add_argument("--repeats", type=int, default=30)
     parser.add_argument(
         "--check",
@@ -208,7 +340,7 @@ def main(argv=None) -> int:
         print(f"no baseline at {options.baseline}", file=sys.stderr)
         return 1
     baseline = json.loads(options.baseline.read_text())
-    problems = check(current, baseline, options.tolerance)
+    problems = check(current, baseline, options.tolerance, options.speedup_floor)
     if problems:
         print("benchmark regression check FAILED:", file=sys.stderr)
         for problem in problems:

@@ -161,6 +161,7 @@ def check_ir_osr_transition(
     module=None,
     memory: Optional[Memory] = None,
     step_limit: int = 1_000_000,
+    backend=None,
 ) -> bool:
     """Validate one IR-level OSR transition by actually executing it.
 
@@ -170,6 +171,12 @@ def check_ir_osr_transition(
     ``mapping`` and resumes ``target`` at the landing point with the same
     memory.  The final return value must match an uninterrupted run of
     ``source``.
+
+    ``backend`` (any :class:`~repro.vm.backend.ExecutionBackend`-shaped
+    object) selects the engine that executes the *landing* side — pass
+    the compiled backend to validate that an OSR entry stub resumed in
+    compiled code is bisimilar to an interpreter resume.  The paused
+    source run always uses the interpreter (pausing needs ``break_at``).
 
     Returns ``True`` when the transition produced the same result, and
     also when ``source`` never reaches ``source_point`` on these arguments
@@ -193,13 +200,22 @@ def check_ir_osr_transition(
         return True  # the point is never reached on these inputs
 
     landing_env = mapping.transfer(source_point, paused.env)
-    resumed = Interpreter(module, step_limit=step_limit).resume(
-        target,
-        entry.target,
-        landing_env,
-        memory=paused.memory,
-        previous_block=paused.previous_block,
-    )
+    if backend is not None:
+        resumed = backend.run_from(
+            target,
+            entry.target,
+            landing_env,
+            memory=paused.memory,
+            previous_block=paused.previous_block,
+        )
+    else:
+        resumed = Interpreter(module, step_limit=step_limit).resume(
+            target,
+            entry.target,
+            landing_env,
+            memory=paused.memory,
+            previous_block=paused.previous_block,
+        )
     return resumed.value == reference.value
 
 
@@ -212,13 +228,17 @@ def check_guarded_deopt(
     module=None,
     memory: Optional[Memory] = None,
     step_limit: int = 1_000_000,
+    backend=None,
 ) -> bool:
     """Validate a guard failure → deoptimizing OSR round trip end to end.
 
     Runs the speculative ``optimized`` version on inputs expected to
-    violate a speculated assumption.  When a guard fails, three facts are
-    checked — the executable reading of Definition 3.1 applied to the
-    deopt point:
+    violate a speculated assumption.  ``backend`` selects the engine that
+    executes the optimized version and the f_base landing — pass the
+    compiled backend to validate that a guard failing *in compiled code*
+    carries exactly the live state the deoptimization needs.  When a
+    guard fails, three facts are checked — the executable reading of
+    Definition 3.1 applied to the deopt point:
 
     1. **realizability** — the transferred environment (restricted to the
        variables live at the landing point) equals the state f_base
@@ -237,9 +257,13 @@ def check_guarded_deopt(
         base, args, memory=memory.copy() if memory is not None else None
     )
     try:
-        speculative = Interpreter(module, step_limit=step_limit).run(
-            optimized, args, memory=memory.copy() if memory is not None else None
-        )
+        run_memory = memory.copy() if memory is not None else None
+        if backend is not None:
+            speculative = backend.run(optimized, args, memory=run_memory)
+        else:
+            speculative = Interpreter(module, step_limit=step_limit).run(
+                optimized, args, memory=run_memory
+            )
         return speculative.value == reference.value
     except GuardFailure as exc:
         failure = exc  # the except-clause name is scoped to its block
@@ -272,11 +296,20 @@ def check_guarded_deopt(
 
     # (3) equivalence: finishing in f_base from the transferred state
     # produces the uninterrupted f_base result.
-    resumed = Interpreter(module, step_limit=step_limit).resume(
-        base,
-        entry.target,
-        landing_env,
-        memory=failure.memory,
-        previous_block=failure.previous_block,
-    )
+    if backend is not None:
+        resumed = backend.run_from(
+            base,
+            entry.target,
+            landing_env,
+            memory=failure.memory,
+            previous_block=failure.previous_block,
+        )
+    else:
+        resumed = Interpreter(module, step_limit=step_limit).resume(
+            base,
+            entry.target,
+            landing_env,
+            memory=failure.memory,
+            previous_block=failure.previous_block,
+        )
     return resumed.value == reference.value

@@ -25,6 +25,8 @@ __all__ = [
     "Undef",
     "BINARY_OPS",
     "UNARY_OPS",
+    "int_div",
+    "int_rem",
     "evaluate",
     "free_vars",
     "substitute",
@@ -49,6 +51,12 @@ def _int_rem(a: int, b: int) -> int:
     if b == 0:
         raise ZeroDivisionError("remainder by zero in IR expression")
     return a - _int_div(a, b) * b
+
+
+#: Public aliases: execution backends (the closure compiler in
+#: particular) must share the interpreter's exact division semantics.
+int_div = _int_div
+int_rem = _int_rem
 
 
 #: Binary operators supported by the IR, mapped to their integer semantics.

@@ -333,9 +333,16 @@ class Guard(Instruction):
     the deoptimization they trigger is an observable effect.
     """
 
-    def __init__(self, cond) -> None:
+    def __init__(self, cond, *, reason: Optional[str] = None) -> None:
         super().__init__()
         self.cond: Expr = as_expr(cond)
+        #: Human-readable statement of the speculated fact this guard
+        #: protects (e.g. ``"assume-constant kind == 0"``).  Set by the
+        #: guard-inserting pass, carried into
+        #: :class:`~repro.ir.interp.GuardFailure` by every execution
+        #: backend, and transparent to all transformations (like debug
+        #: metadata).
+        self.reason = reason
 
     def expressions(self) -> Tuple[Expr, ...]:
         return (self.cond,)
@@ -344,7 +351,7 @@ class Guard(Instruction):
         self.cond = substitute(self.cond, mapping)
 
     def copy(self) -> "Guard":
-        return Guard(self.cond)
+        return Guard(self.cond, reason=self.reason)
 
     def has_side_effects(self) -> bool:
         return True

@@ -78,13 +78,19 @@ class GuardFailure(RuntimeError):
         env: Dict[str, int],
         memory: "Memory",
         previous_block: Optional[str],
+        *,
+        reason: Optional[str] = None,
     ) -> None:
-        super().__init__(f"@{function}: guard failed at {point}")
+        detail = f" ({reason})" if reason else ""
+        super().__init__(f"@{function}: guard failed at {point}{detail}")
         self.function = function
         self.point = point
         self.env = env
         self.memory = memory
         self.previous_block = previous_block
+        #: The speculated fact the failing guard protected (when the
+        #: guard-inserting pass recorded one) — pure diagnostics.
+        self.reason = reason
 
 
 class Memory:
@@ -158,6 +164,11 @@ class ExecutionResult:
     memory: Optional[Memory] = None
     stopped_at: Optional[ProgramPoint] = None
     previous_block: Optional[str] = None
+    #: Name of the execution backend that produced this result.  For the
+    #: interpreter ``steps`` counts instructions; compiled backends count
+    #: block transfers instead (per-instruction accounting is exactly the
+    #: overhead they exist to remove).
+    backend: str = "interp"
 
 
 #: Signature of host (native) functions callable from IR code.
@@ -395,7 +406,12 @@ class Interpreter:
                 elif isinstance(inst, Guard):
                     if evaluate(inst.cond, env) == 0:
                         raise GuardFailure(
-                            function.name, point, dict(env), memory, prev_block
+                            function.name,
+                            point,
+                            dict(env),
+                            memory,
+                            prev_block,
+                            reason=inst.reason,
                         )
                 elif isinstance(inst, Nop):
                     pass

@@ -149,7 +149,10 @@ class SpeculativeGuards(Pass):
                     insert_at = len(block.phis())
             else:
                 continue
-            guard = Guard(BinOp("eq", Var(name), Const(value)))
+            guard = Guard(
+                BinOp("eq", Var(name), Const(value)),
+                reason=f"assume-constant {name} == {value}",
+            )
             plan.append((block, insert_at, guard, block.instructions[insert_at]))
             speculated[name] = Const(value)
 
@@ -189,7 +192,13 @@ class SpeculativeGuards(Pass):
             return False  # a value guard landed after it, or it was rewritten
         hot = branch.then_target if direction else branch.else_target
         guard_cond = branch.cond if direction else UnOp("not", branch.cond)
-        guard = Guard(guard_cond)
+        guard = Guard(
+            guard_cond,
+            reason=(
+                f"assume-branch {block.label} -> {hot} "
+                f"({'then' if direction else 'else'} side hot)"
+            ),
+        )
         jump = Jump(hot)
 
         block.insert(len(block.instructions) - 1, guard)

@@ -1,5 +1,15 @@
 """Adaptive multi-tier runtime built on the OSR framework."""
 
+from .backend import (
+    BACKEND_ENV_VAR,
+    BACKEND_NAMES,
+    CompiledBackend,
+    ExecutionBackend,
+    InterpreterBackend,
+    backend_name_from_env,
+    resolve_backend,
+)
+from .closure_compile import ClosureCompiler, CompiledFunction, compile_ir_function
 from .profile import BranchProfile, FunctionProfile, RegisterProfile, ValueProfile
 from .runtime import (
     AdaptiveRuntime,
@@ -17,4 +27,14 @@ __all__ = [
     "FunctionProfile",
     "RegisterProfile",
     "BranchProfile",
+    "ExecutionBackend",
+    "InterpreterBackend",
+    "CompiledBackend",
+    "ClosureCompiler",
+    "CompiledFunction",
+    "compile_ir_function",
+    "BACKEND_ENV_VAR",
+    "BACKEND_NAMES",
+    "backend_name_from_env",
+    "resolve_backend",
 ]

@@ -1,0 +1,276 @@
+"""Pluggable execution backends for the adaptive runtime.
+
+The OSR framework is backend-agnostic: a *tier* is a policy decision
+(profile here, speculate there), while a *backend* is an execution
+engine.  This module defines the seam between the two:
+
+* :class:`ExecutionBackend` — the protocol every engine implements:
+  ``run`` (call from the entry), ``run_from`` (resume at an arbitrary
+  :class:`~repro.ir.function.ProgramPoint` with a transferred
+  environment — the landing side of an OSR transition) and a
+  ``supports_profiling`` capability flag (only profiling engines feed
+  the :class:`~repro.vm.profile.ValueProfile` that drives speculation).
+
+* :class:`InterpreterBackend` — the reference tree-walking engine
+  (:class:`~repro.ir.interp.Interpreter`).  Slow, observable, and the
+  only engine that can pause at a ``break_at`` point, which is why the
+  profiled base tier always runs here.
+
+* :class:`CompiledBackend` — the closure-compiled engine
+  (:mod:`repro.vm.closure_compile`).  ``run_from`` compiles (and caches)
+  an *OSR entry stub* per landing point, so an optimizing OSR lands
+  directly in compiled code mid-loop.
+
+Backends are registered by name; ``resolve_backend`` accepts a name, an
+instance, or ``None`` (which consults the ``REPRO_BACKEND`` environment
+variable — the switch CI's backend-parity job flips to run the whole
+tier-1 suite on each engine).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..ir.function import Function, Module, ProgramPoint
+from ..ir.interp import ExecutionResult, Interpreter, Memory, NativeFunction
+from .closure_compile import ClosureCompiler
+
+__all__ = [
+    "ExecutionBackend",
+    "InterpreterBackend",
+    "CompiledBackend",
+    "BACKEND_NAMES",
+    "BACKEND_ENV_VAR",
+    "backend_name_from_env",
+    "resolve_backend",
+]
+
+#: Environment variable selecting the backend optimized tiers run on.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Registered backend names, in preference order.
+BACKEND_NAMES = ("compiled", "interp")
+
+
+class ExecutionBackend:
+    """Protocol of an execution engine usable as a runtime tier target.
+
+    Subclasses must implement :meth:`run` and :meth:`run_from`; both
+    return an :class:`~repro.ir.interp.ExecutionResult` and raise
+    :class:`~repro.ir.interp.GuardFailure` (carrying the live state at
+    the failing guard) so deoptimization handling is identical no matter
+    which engine was executing.
+    """
+
+    #: Registry name of the backend.
+    name: str = "abstract"
+
+    #: Whether :meth:`run` honours a ``profiler`` (value/branch profile
+    #: sink).  Compiled code does not profile — removing per-instruction
+    #: observation is precisely its speed advantage — so the runtime
+    #: keeps the profiled base tier on a profiling backend.
+    supports_profiling: bool = False
+
+    def run(
+        self,
+        function: Function,
+        args: Sequence[int] = (),
+        *,
+        memory: Optional[Memory] = None,
+        profiler=None,
+    ) -> ExecutionResult:
+        """Run ``function`` from its entry with positional arguments."""
+        raise NotImplementedError
+
+    def run_from(
+        self,
+        function: Function,
+        point: ProgramPoint,
+        env: Mapping[str, int],
+        *,
+        memory: Optional[Memory] = None,
+        previous_block: Optional[str] = None,
+    ) -> ExecutionResult:
+        """Resume ``function`` at ``point`` — the landing side of an OSR.
+
+        The caller is responsible for having produced ``env`` via the
+        appropriate OSR mapping (compensation code plus liveness
+        restriction, plus any K_avail keep-alive values).
+        """
+        raise NotImplementedError
+
+
+class InterpreterBackend(ExecutionBackend):
+    """The reference interpreter as a backend (tier-0 and fallback engine)."""
+
+    name = "interp"
+    supports_profiling = True
+
+    def __init__(
+        self,
+        *,
+        module: Optional[Module] = None,
+        natives: Optional[Mapping[str, NativeFunction]] = None,
+        step_limit: int = 2_000_000,
+    ) -> None:
+        self.module = module
+        self.natives = natives
+        self.step_limit = step_limit
+
+    def run(
+        self,
+        function: Function,
+        args: Sequence[int] = (),
+        *,
+        memory: Optional[Memory] = None,
+        profiler=None,
+    ) -> ExecutionResult:
+        interpreter = Interpreter(
+            self.module,
+            step_limit=self.step_limit,
+            natives=self.natives,
+            profiler=profiler,
+        )
+        return interpreter.run(function, args, memory=memory)
+
+    def run_from(
+        self,
+        function: Function,
+        point: ProgramPoint,
+        env: Mapping[str, int],
+        *,
+        memory: Optional[Memory] = None,
+        previous_block: Optional[str] = None,
+    ) -> ExecutionResult:
+        interpreter = Interpreter(
+            self.module, step_limit=self.step_limit, natives=self.natives
+        )
+        return interpreter.resume(
+            function, point, env, memory=memory, previous_block=previous_block
+        )
+
+
+class CompiledBackend(ExecutionBackend):
+    """The closure-compiled engine.
+
+    Functions are lowered once (per entry point) and cached; ``run_from``
+    lowers an OSR entry stub for the landing point on first use, so a
+    steady-state optimizing OSR is one dict lookup plus one Python call.
+
+    ``call @f(...)`` sites resolve through this backend: module callees
+    are themselves closure-compiled on first call, host natives are
+    invoked directly — mirroring :class:`~repro.ir.interp.Interpreter`'s
+    resolution order.
+
+    Step-budget semantics differ from the interpreter's: the interpreter
+    charges callees against the caller's single budget, while every
+    compiled invocation (including nested calls) gets its own
+    ``step_limit`` of block transfers — per-call fuel keeps the hot
+    dispatch loop free of shared-counter traffic.  Termination is still
+    guaranteed (each activation is bounded, and recursion depth is
+    bounded by the Python stack); only *total* work across deep call
+    trees is looser than the interpreter's accounting.
+    """
+
+    name = "compiled"
+    supports_profiling = False
+
+    def __init__(
+        self,
+        *,
+        module: Optional[Module] = None,
+        natives: Optional[Mapping[str, NativeFunction]] = None,
+        step_limit: int = 2_000_000,
+    ) -> None:
+        self.module = module
+        self.natives: Dict[str, NativeFunction] = dict(natives or {})
+        self.step_limit = step_limit
+        self.compiler = ClosureCompiler(
+            step_limit=step_limit, resolve_call=self._resolve_call
+        )
+
+    # -------------------------------------------------------------- #
+    # Call resolution shared by every function this backend compiles.
+    # -------------------------------------------------------------- #
+    def _resolve_call(self, callee: str, args: List[int], memory: Memory) -> int:
+        if self.module is not None and callee in self.module:
+            result = self.run(self.module.get(callee), args, memory=memory)
+            return result.value if result.value is not None else 0
+        native = self.natives.get(callee)
+        if native is None:
+            raise KeyError(f"call to unknown function @{callee}")
+        return int(native(list(args), memory))
+
+    # -------------------------------------------------------------- #
+    # ExecutionBackend interface.
+    # -------------------------------------------------------------- #
+    def run(
+        self,
+        function: Function,
+        args: Sequence[int] = (),
+        *,
+        memory: Optional[Memory] = None,
+        profiler=None,
+    ) -> ExecutionResult:
+        if len(args) != len(function.params):
+            raise TypeError(
+                f"function @{function.name} expects {len(function.params)} "
+                f"arguments, got {len(args)}"
+            )
+        compiled = self.compiler.compile(function)
+        return compiled([int(value) for value in args], memory)
+
+    def run_from(
+        self,
+        function: Function,
+        point: ProgramPoint,
+        env: Mapping[str, int],
+        *,
+        memory: Optional[Memory] = None,
+        previous_block: Optional[str] = None,
+    ) -> ExecutionResult:
+        stub = self.compiler.compile(function, point)
+        return stub(dict(env), memory, previous_block)
+
+
+#: Backend constructors by registry name.
+_FACTORIES: Dict[str, Callable[..., ExecutionBackend]] = {
+    "interp": InterpreterBackend,
+    "compiled": CompiledBackend,
+}
+
+
+def backend_name_from_env(default: str = "compiled") -> str:
+    """The backend name selected by ``REPRO_BACKEND`` (or ``default``)."""
+    name = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+    if not name:
+        return default
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"{BACKEND_ENV_VAR}={name!r} names no backend; "
+            f"choose from {sorted(_FACTORIES)}"
+        )
+    return name
+
+
+def resolve_backend(
+    spec: Union[None, str, ExecutionBackend],
+    *,
+    step_limit: int = 2_000_000,
+    default: str = "compiled",
+) -> ExecutionBackend:
+    """Resolve a backend spec: instance, registry name, or ``None``.
+
+    ``None`` consults :data:`BACKEND_ENV_VAR` and falls back to
+    ``default`` — the hook the CI backend-parity job uses to run the
+    entire suite per engine without touching any call site.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec is None:
+        spec = backend_name_from_env(default)
+    factory = _FACTORIES.get(spec)
+    if factory is None:
+        raise ValueError(f"unknown backend {spec!r}; choose from {sorted(_FACTORIES)}")
+    return factory(step_limit=step_limit)

@@ -1,0 +1,563 @@
+"""Closure compilation: lowering IR functions to generated Python code.
+
+The tree-walking interpreter (:mod:`repro.ir.interp`) pays a dictionary
+lookup per register access, an ``isinstance`` chain per instruction and a
+recursive :func:`~repro.ir.expr.evaluate` call per expression node.  This
+module removes all three costs by *lowering* a verified IR
+:class:`~repro.ir.function.Function` into Python source that is fed to
+``compile()``/``exec()`` once and then called many times:
+
+* **registers become Python locals** (``LOAD_FAST``/``STORE_FAST`` —
+  faster than the fixed-slot lists a hand-rolled frame would use),
+* **expressions become Python expressions** compiled ahead of time,
+* **blocks become straight-line code** inside a direct-threaded dispatch
+  loop: a jump assigns an integer block id and ``continue``s to the top,
+* **phi nodes become parallel edge assignments** materialized on each
+  incoming edge (the classic "moves on the edges" out-of-SSA lowering),
+* **guards become inline checks** that raise
+  :class:`~repro.ir.interp.GuardFailure` carrying the full live state the
+  :class:`~repro.core.codemapper.CodeMapper`-derived deoptimization
+  mapping needs (register environment, memory, arrival block).
+
+The lowering also produces **OSR entry stubs**: a variant of the function
+whose prologue re-binds every register from a transferred environment,
+executes the tail of the landing block (resolving a leading phi run
+against the dynamic predecessor when the landing point is a block head)
+and then falls into the ordinary dispatch loop.  This is how a compiled
+tier accepts an optimizing-OSR transition mid-loop: the runtime maps an
+interpreter :class:`~repro.ir.function.ProgramPoint` to a stub and calls
+it with the K_avail-preserving environment produced by the forward
+mapping.
+
+Semantics are identical to the interpreter by construction: the same
+truncating division/remainder helpers, the same ``& 63`` shift masking,
+comparison results coerced back to ``int`` (via unary ``+`` on the
+``bool``), the same ``GuardFailure``/``AbortExecution`` control flow and
+a step budget counted in block transfers so miscompiled non-terminating
+code still fails loudly instead of hanging.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..ir.expr import BinOp, Const, Expr, UnOp, Undef, Var, int_div, int_rem
+from ..ir.function import BasicBlock, Function, ProgramPoint
+from ..ir.instructions import (
+    Abort,
+    Alloca,
+    Assign,
+    Branch,
+    Call,
+    Guard,
+    Jump,
+    Load,
+    Nop,
+    Phi,
+    Return,
+    Store,
+)
+from ..ir.interp import (
+    AbortExecution,
+    ExecutionResult,
+    GuardFailure,
+    Memory,
+    StepLimitExceeded,
+)
+from ..ir.verify import verify_function
+
+__all__ = [
+    "CompiledFunction",
+    "ClosureCompiler",
+    "compile_ir_function",
+    "mangle",
+    "compile_expr",
+]
+
+class _UndefinedRegister:
+    """Sentinel for registers not yet assigned.
+
+    The compiled analogue of the interpreter's ``KeyError`` on unbound
+    registers: *any* observation of the sentinel — arithmetic
+    (``TypeError``), comparison, or truthiness — fails loudly instead of
+    silently computing with garbage.  Identity checks (``is``) remain
+    available to the snapshot helper and the OSR prologue.
+    """
+
+    __slots__ = ()
+
+    def _refuse(self, *_args):
+        raise RuntimeError("register read before assignment in compiled code")
+
+    __eq__ = __ne__ = __lt__ = __le__ = __gt__ = __ge__ = _refuse
+    __bool__ = _refuse
+    __hash__ = object.__hash__
+
+
+_UNDEFINED = _UndefinedRegister()
+
+
+def _raise_undef() -> int:
+    raise ValueError("evaluated an undef value")
+
+
+# ---------------------------------------------------------------------- #
+# Name mangling: IR register names -> valid Python identifiers.
+# ---------------------------------------------------------------------- #
+
+
+def mangle(name: str) -> str:
+    """Injectively map an IR register name to a Python local name.
+
+    IR names may contain ``%`` (temporaries) and ``.`` (SSA versions);
+    each escape starts with ``_`` and a literal ``_`` doubles, so
+    distinct IR names always map to distinct locals.
+    """
+    out = ["r_"]
+    for ch in name:
+        if ch.isalnum():
+            out.append(ch)
+        elif ch == "_":
+            out.append("__")
+        elif ch == "%":
+            out.append("_p")
+        elif ch == ".":
+            out.append("_d")
+        else:
+            out.append(f"_x{ord(ch):x}_")
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------- #
+# Expression lowering.
+# ---------------------------------------------------------------------- #
+
+#: Binary operators with a direct Python spelling (int x int -> int).
+_DIRECT_BINOPS = {
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "and": "&",
+    "or": "|",
+    "xor": "^",
+}
+
+#: Comparison operators: Python yields ``bool``; unary ``+`` coerces the
+#: result back to ``int`` so compiled environments stay integer-typed
+#: like the interpreter's.
+_COMPARE_BINOPS = {
+    "eq": "==",
+    "ne": "!=",
+    "lt": "<",
+    "le": "<=",
+    "gt": ">",
+    "ge": ">=",
+}
+
+
+def compile_expr(expr: Expr) -> str:
+    """Lower one IR expression tree to a Python expression string."""
+    if isinstance(expr, Const):
+        return f"({expr.value})" if expr.value < 0 else str(expr.value)
+    if isinstance(expr, Var):
+        return mangle(expr.name)
+    if isinstance(expr, Undef):
+        return "_undef()"
+    if isinstance(expr, UnOp):
+        operand = compile_expr(expr.operand)
+        if expr.op == "neg":
+            return f"(-{operand})"
+        if expr.op == "not":
+            return f"(+({operand} == 0))"
+        if expr.op == "abs":
+            return f"abs({operand})"
+        raise NotImplementedError(f"unary operator {expr.op!r}")
+    if isinstance(expr, BinOp):
+        lhs = compile_expr(expr.lhs)
+        rhs = compile_expr(expr.rhs)
+        op = expr.op
+        if op in _DIRECT_BINOPS:
+            return f"({lhs} {_DIRECT_BINOPS[op]} {rhs})"
+        if op in _COMPARE_BINOPS:
+            return f"(+({lhs} {_COMPARE_BINOPS[op]} {rhs}))"
+        if op == "div":
+            return f"_idiv({lhs}, {rhs})"
+        if op == "rem":
+            return f"_irem({lhs}, {rhs})"
+        if op == "shl":
+            return f"({lhs} << ({rhs} & 63))"
+        if op == "shr":
+            return f"({lhs} >> ({rhs} & 63))"
+        if op == "min":
+            return f"min({lhs}, {rhs})"
+        if op == "max":
+            return f"max({lhs}, {rhs})"
+        raise NotImplementedError(f"binary operator {op!r}")
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+# ---------------------------------------------------------------------- #
+# The compiled artifact.
+# ---------------------------------------------------------------------- #
+
+
+class CompiledFunction:
+    """One compiled entry (normal or OSR stub) of an IR function.
+
+    A normal entry is called with positional argument values (like
+    :meth:`repro.ir.interp.Interpreter.run`); an OSR entry stub is called
+    with a transferred environment dict and the arrival block (like
+    :meth:`repro.ir.interp.Interpreter.resume`).  Both input shapes go
+    through the same ``_in`` parameter of the generated code.
+    """
+
+    def __init__(
+        self,
+        function: Function,
+        entry: Optional[ProgramPoint],
+        raw: Callable,
+        source: str,
+    ) -> None:
+        self.function = function
+        self.entry = entry
+        self._raw = raw
+        #: The generated Python source (kept for inspection and tests).
+        self.source = source
+
+    def __call__(
+        self,
+        args_or_env,
+        memory: Optional[Memory] = None,
+        previous_block: Optional[str] = None,
+    ) -> ExecutionResult:
+        memory = memory if memory is not None else Memory()
+        value, env, steps = self._raw(args_or_env, memory, previous_block)
+        return ExecutionResult(value, steps, [], env, memory, backend="compiled")
+
+
+# ---------------------------------------------------------------------- #
+# The compiler.
+# ---------------------------------------------------------------------- #
+
+
+class ClosureCompiler:
+    """Lowers IR functions (and their OSR entry stubs) to Python code.
+
+    One compiler instance owns a call-resolution hook shared by every
+    function it compiles: ``call @f(...)`` sites compile to an indirect
+    call through ``resolve_call(name, args, memory)``, which the owning
+    backend wires to module functions (compiled recursively) or host
+    natives.
+    """
+
+    def __init__(
+        self,
+        *,
+        step_limit: int = 2_000_000,
+        resolve_call: Optional[Callable[[str, List[int], Memory], int]] = None,
+        verify: bool = True,
+    ) -> None:
+        self.step_limit = step_limit
+        self.verify = verify
+        self.resolve_call = resolve_call or _no_calls
+        self._cache: Dict[Tuple[int, Optional[ProgramPoint]], CompiledFunction] = {}
+
+    def compile(
+        self, function: Function, entry: Optional[ProgramPoint] = None
+    ) -> CompiledFunction:
+        """Compile ``function``, optionally as an OSR stub entering at ``entry``.
+
+        Compiled artifacts are cached per ``(function identity, entry)``;
+        callers must not mutate a function after its first compilation
+        (the runtime only compiles after the pass pipeline finished).
+        """
+        key = (id(function), entry)
+        cached = self._cache.get(key)
+        if cached is not None and cached.function is function:
+            return cached
+        if self.verify:
+            verify_function(function, require_ssa=False)
+        compiled = self._lower(function, entry)
+        self._cache[key] = compiled
+        return compiled
+
+    def _lower(
+        self, function: Function, entry: Optional[ProgramPoint]
+    ) -> CompiledFunction:
+        emitter = _Emitter(function, entry)
+        source = emitter.emit()
+        namespace = {
+            "_U": _UNDEFINED,
+            "_GF": GuardFailure,
+            "_Abort": AbortExecution,
+            "_StepLimit": StepLimitExceeded,
+            "_idiv": int_div,
+            "_irem": int_rem,
+            "_undef": _raise_undef,
+            "_call": self.resolve_call,
+            "_snapshot": _make_snapshot(emitter.name_table),
+            "_PP": emitter.point_table,
+            "_REASONS": emitter.reason_table,
+            "_FNAME": function.name,
+            "_FUEL": self.step_limit,
+        }
+        code = compile(source, f"<closure:{function.name}>", "exec")
+        exec(code, namespace)
+        raw = namespace["__compiled__"]
+        return CompiledFunction(function, entry, raw, source)
+
+
+def _no_calls(name: str, args: List[int], memory: Memory) -> int:
+    raise KeyError(f"call to unknown function @{name}")
+
+
+def _make_snapshot(name_table: List[Tuple[str, str]]):
+    """Build the locals() -> IR-environment converter for one function.
+
+    Converts a compiled frame's locals back into an interpreter-style
+    environment keyed by IR register names, dropping registers that are
+    still undefined.  Only called on slow paths (guard failure, return).
+    """
+    undefined = _UNDEFINED
+
+    def _snapshot(frame_locals: Dict[str, object]) -> Dict[str, int]:
+        env: Dict[str, int] = {}
+        for mangled_name, original in name_table:
+            value = frame_locals.get(mangled_name, undefined)
+            if value is not undefined:
+                env[original] = value
+        return env
+
+    return _snapshot
+
+
+class _Emitter:
+    """Generates the Python source for one ``(function, entry)`` pair."""
+
+    def __init__(self, function: Function, entry: Optional[ProgramPoint]) -> None:
+        self.function = function
+        self.entry = entry
+        labels = function.block_labels()
+        self.block_ids: Dict[str, int] = {label: i for i, label in enumerate(labels)}
+        registers = sorted(function.defined_variables() | set(function.params))
+        #: (mangled, original) pairs; the snapshot helper and the OSR
+        #: prologue both walk this table.
+        self.name_table: List[Tuple[str, str]] = [
+            (mangle(name), name) for name in registers
+        ]
+        #: Guard program points, indexed by emission order.
+        self.point_table: List[ProgramPoint] = []
+        #: Guard reasons (the speculated facts), same indexing.
+        self.reason_table: List[Optional[str]] = []
+        self.lines: List[str] = []
+
+    # -------------------------------------------------------------- #
+    def _w(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def emit(self) -> str:
+        fn = self.function
+        self._w(0, "def __compiled__(_in, _memory, _prev):")
+        self._w(1, "_mload = _memory.load; _mstore = _memory.store")
+        self._w(1, "_alloc = _memory.allocate")
+        self._w(1, "_fuel = _FUEL")
+        # All registers start undefined so the guard-failure snapshot can
+        # distinguish "never assigned" from any integer value.
+        mangled = [m for m, _ in self.name_table]
+        for chunk_start in range(0, len(mangled), 8):
+            chunk = mangled[chunk_start : chunk_start + 8]
+            self._w(1, " = ".join(chunk) + " = _U")
+
+        if self.entry is None:
+            for i, param in enumerate(fn.params):
+                self._w(1, f"{mangle(param)} = _in[{i}]")
+            start_block = fn.entry_label
+            start_index = 0
+        else:
+            # OSR entry stub: re-bind every register present in the
+            # transferred environment (missing ones stay undefined, like
+            # the interpreter's resume with a partial environment).
+            for mangled_name, original in self.name_table:
+                self._w(1, f"{mangled_name} = _in.get({original!r}, _U)")
+            start_block = self.entry.block
+            start_index = self.entry.index
+
+        landing_block = fn.blocks[start_block]
+        phis = landing_block.phis()
+        if self.entry is not None and 0 < start_index < len(phis):
+            raise ValueError(
+                f"@{fn.name}: cannot compile an OSR entry inside the leading "
+                f"phi run at {self.entry}"
+            )
+
+        if self.entry is not None and start_index == 0 and phis:
+            # Landing on a phi head: resolve the parallel assignment
+            # against the dynamic predecessor, exactly like
+            # ``Interpreter.resume`` with ``previous_block``.
+            preds = sorted({p for phi in phis for p in phi.incoming})
+            first = True
+            for pred in preds:
+                kw = "if" if first else "elif"
+                first = False
+                self._w(1, f"{kw} _prev == {pred!r}:")
+                self._emit_phi_moves(2, phis, pred)
+            message = (
+                f"@{fn.name}: reached phi block {start_block} without a "
+                "known predecessor"
+            )
+            self._w(1, "else:")
+            self._w(2, f"raise RuntimeError({message!r})")
+            start_index = len(phis)
+
+        if self.entry is not None and start_index > 0:
+            # Execute the tail of the landing block as a straight-line
+            # prologue; its terminator (or the phi-head resolution above)
+            # hands control to the ordinary dispatch loop.
+            for index in range(start_index, len(landing_block.instructions)):
+                self._emit_instruction(1, landing_block, index, in_loop=False)
+        else:
+            self._w(1, f"_b = {self.block_ids[start_block]}")
+
+        # The direct-threaded dispatch loop.
+        self._w(1, "while True:")
+        self._w(2, "_fuel -= 1")
+        self._w(2, "if _fuel < 0:")
+        self._w(
+            3,
+            "raise _StepLimit('compiled execution exceeded the step limit "
+            "of %d block transfers' % _FUEL)",
+        )
+        first = True
+        for label in fn.block_labels():
+            block = fn.blocks[label]
+            kw = "if" if first else "elif"
+            first = False
+            self._w(2, f"{kw} _b == {self.block_ids[label]}:")
+            body_start = len(block.phis())  # phis are edge moves
+            emitted = False
+            for index in range(body_start, len(block.instructions)):
+                self._emit_instruction(3, block, index, in_loop=True)
+                emitted = True
+            if not emitted:  # pragma: no cover - verify guarantees a terminator
+                self._w(3, "pass")
+        self._w(2, "else:")
+        self._w(3, "raise RuntimeError('unknown block id %r' % _b)")
+        return "\n".join(self.lines) + "\n"
+
+    # -------------------------------------------------------------- #
+    def _emit_phi_moves(self, indent: int, phis: List[Phi], pred: str) -> None:
+        """Parallel assignment for the phi run of a block, along edge ``pred``."""
+        dests: List[str] = []
+        sources: List[str] = []
+        for phi in phis:
+            incoming = phi.incoming.get(pred)
+            if incoming is None:
+                message = (
+                    f"@{self.function.name}: phi {phi.dest} has no incoming "
+                    f"value for predecessor {pred!r}"
+                )
+                self._w(indent, f"raise RuntimeError({message!r})")
+                return
+            dests.append(mangle(phi.dest))
+            sources.append(compile_expr(incoming))
+        if not dests:
+            self._w(indent, "pass")
+            return
+        if len(dests) == 1:
+            self._w(indent, f"{dests[0]} = {sources[0]}")
+        else:
+            self._w(indent, f"{', '.join(dests)} = {', '.join(sources)}")
+
+    def _emit_edge(
+        self, indent: int, from_label: str, to_label: str, in_loop: bool
+    ) -> None:
+        """Transfer control along one CFG edge: phi moves, then dispatch."""
+        target = self.function.blocks.get(to_label)
+        if target is None:
+            message = f"@{self.function.name}: unknown block {to_label!r}"
+            self._w(indent, f"raise KeyError({message!r})")
+            return
+        phis = target.phis()
+        if phis:
+            self._emit_phi_moves(indent, phis, from_label)
+        self._w(indent, f"_prev = {from_label!r}")
+        self._w(indent, f"_b = {self.block_ids[to_label]}")
+        if in_loop:
+            self._w(indent, "continue")
+
+    def _emit_instruction(
+        self, indent: int, block: BasicBlock, index: int, *, in_loop: bool
+    ) -> None:
+        inst = block.instructions[index]
+        label = block.label
+        if isinstance(inst, Phi):
+            # A phi past the leading run is ill-formed; the verifier
+            # rejects it before lowering ever starts.
+            raise ValueError(
+                f"@{self.function.name}: phi outside the block head at "
+                f"{label}:{index}"
+            )
+        if isinstance(inst, Assign):
+            self._w(indent, f"{mangle(inst.dest)} = {compile_expr(inst.expr)}")
+        elif isinstance(inst, Load):
+            self._w(indent, f"{mangle(inst.dest)} = _mload({compile_expr(inst.addr)})")
+        elif isinstance(inst, Store):
+            self._w(
+                indent,
+                f"_mstore({compile_expr(inst.addr)}, {compile_expr(inst.value)})",
+            )
+        elif isinstance(inst, Alloca):
+            self._w(indent, f"{mangle(inst.dest)} = _alloc({inst.size})")
+        elif isinstance(inst, Call):
+            args = ", ".join(compile_expr(a) for a in inst.args)
+            call = f"_call({inst.callee!r}, [{args}], _memory)"
+            if inst.dest is not None:
+                self._w(indent, f"{mangle(inst.dest)} = {call}")
+            else:
+                self._w(indent, call)
+        elif isinstance(inst, Guard):
+            point = ProgramPoint(label, index)
+            slot = len(self.point_table)
+            self.point_table.append(point)
+            self.reason_table.append(inst.reason)
+            self._w(indent, f"if not {compile_expr(inst.cond)}:")
+            self._w(
+                indent + 1,
+                f"raise _GF(_FNAME, _PP[{slot}], _snapshot(locals()), _memory, "
+                f"_prev, reason=_REASONS[{slot}])",
+            )
+        elif isinstance(inst, Nop):
+            self._w(indent, "pass")
+        elif isinstance(inst, Jump):
+            self._emit_edge(indent, label, inst.target, in_loop)
+        elif isinstance(inst, Branch):
+            self._w(indent, f"if {compile_expr(inst.cond)}:")
+            self._emit_edge(indent + 1, label, inst.then_target, in_loop)
+            if in_loop:
+                # The taken arm ended in ``continue``; the fall-through
+                # is the else edge.
+                self._emit_edge(indent, label, inst.else_target, in_loop)
+            else:
+                self._w(indent, "else:")
+                self._emit_edge(indent + 1, label, inst.else_target, in_loop)
+        elif isinstance(inst, Return):
+            value = compile_expr(inst.value) if inst.value is not None else "None"
+            self._w(indent, f"return ({value}, _snapshot(locals()), _FUEL - _fuel)")
+        elif isinstance(inst, Abort):
+            message = f"@{self.function.name}: abort at {label}:{index}"
+            self._w(indent, f"raise _Abort({message!r})")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown instruction {inst!r}")
+
+
+def compile_ir_function(
+    function: Function,
+    entry: Optional[ProgramPoint] = None,
+    *,
+    step_limit: int = 2_000_000,
+    resolve_call=None,
+) -> CompiledFunction:
+    """One-shot convenience wrapper around :class:`ClosureCompiler`."""
+    return ClosureCompiler(step_limit=step_limit, resolve_call=resolve_call).compile(
+        function, entry
+    )

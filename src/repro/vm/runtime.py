@@ -2,7 +2,17 @@
 
 A multi-tier execution engine that exercises the OSR framework the way a
 speculating JIT would (the paper's TinyVM testbed plays the same role;
-the dispatched-OSR tier follows Flückiger et al.'s *Deoptless*):
+the dispatched-OSR tier follows Flückiger et al.'s *Deoptless*).
+
+Every tier names an **execution backend** (:mod:`repro.vm.backend`): the
+profiled base tier runs on the interpreter (the only engine that can
+observe values and pause at arbitrary points), while optimized versions
+and cached continuations run on the configured *optimized-tier backend*
+— the closure-compiled engine by default, or whatever ``REPRO_BACKEND``
+selects.  Deoptimization is backend-agnostic: a failing guard raises the
+same :class:`~repro.ir.interp.GuardFailure` with the same live state no
+matter which engine executed it, so the deopt/continuation machinery
+below never branches on the engine.
 
 * **Tier 0 — base.**  Functions start in the interpreter running f_base,
   with a :class:`~repro.vm.profile.ValueProfile` recording register
@@ -14,8 +24,11 @@ the dispatched-OSR tier follows Flückiger et al.'s *Deoptless*):
   insertion* (:func:`~repro.passes.speculative_pipeline`): monomorphic
   registers become guarded constants, biased branches become guarded
   jumps, and ``constprop``/``sccp``/``adce`` prune the cold paths the
-  guards made dead.  The currently pending execution is transferred to
-  the optimized code mid-loop (an optimizing OSR), but only after
+  guards made dead.  The optimized version runs on the optimized-tier
+  backend; an OSR entry lands in it through the backend's
+  ``run_from`` entry stub.  The currently pending execution is
+  transferred to the optimized code mid-loop (an optimizing OSR), but
+  only after
   checking that every speculated fact that will *not* be re-checked past
   the landing point actually holds for the in-flight state.  Speculation
   is installed only when every guard point is covered by the backward
@@ -57,6 +70,7 @@ from ..passes import (
     speculative_pipeline,
     standard_pipeline,
 )
+from .backend import ExecutionBackend, resolve_backend
 from .profile import ValueProfile
 
 __all__ = [
@@ -118,7 +132,16 @@ class TieredFunction:
 
 
 class AdaptiveRuntime:
-    """An N-tier runtime: base → speculative optimized → dispatched continuations."""
+    """An N-tier runtime: base → speculative optimized → dispatched continuations.
+
+    ``opt_backend`` names the engine that executes optimized versions and
+    cached continuations (``"interp"``, ``"compiled"``, an
+    :class:`~repro.vm.backend.ExecutionBackend` instance, or ``None`` to
+    consult the ``REPRO_BACKEND`` environment variable — default
+    ``compiled``).  ``base_backend`` names the engine for the profiled
+    base tier and deopt landings; it must support profiling, so it
+    defaults to (and is validated as) a profiling engine.
+    """
 
     def __init__(
         self,
@@ -130,6 +153,8 @@ class AdaptiveRuntime:
         speculate: bool = True,
         min_samples: int = 4,
         min_ratio: float = 0.999,
+        opt_backend=None,
+        base_backend=None,
     ) -> None:
         self.hotness_threshold = hotness_threshold
         self.passes = passes  # explicit pipeline overrides speculation
@@ -139,6 +164,18 @@ class AdaptiveRuntime:
         self.min_samples = min_samples
         self.min_ratio = min_ratio
         self.profile = ValueProfile()
+        self.opt_backend: ExecutionBackend = resolve_backend(
+            opt_backend, step_limit=step_limit
+        )
+        self.base_backend: ExecutionBackend = resolve_backend(
+            base_backend if base_backend is not None else "interp",
+            step_limit=step_limit,
+        )
+        if not self.base_backend.supports_profiling:
+            raise ValueError(
+                f"base tier requires a profiling backend, got "
+                f"{self.base_backend.name!r}"
+            )
         self.functions: Dict[str, TieredFunction] = {}
         #: Log of (function, kind, point) transition events, for tests/examples.
         self.events: List[Tuple[str, str, ProgramPoint]] = []
@@ -238,8 +275,8 @@ class AdaptiveRuntime:
 
         if state.is_compiled:
             return self._run_optimized(state, args, memory)
-        return Interpreter(step_limit=self.step_limit, profiler=self.profile).run(
-            state.base, args, memory=memory
+        return self.base_backend.run(
+            state.base, args, memory=memory, profiler=self.profile
         )
 
     def _run_optimized(
@@ -250,9 +287,7 @@ class AdaptiveRuntime:
     ) -> ExecutionResult:
         assert state.pair is not None
         try:
-            return Interpreter(step_limit=self.step_limit).run(
-                state.pair.optimized, args, memory=memory
-            )
+            return self.opt_backend.run(state.pair.optimized, args, memory=memory)
         except GuardFailure as failure:
             return self._handle_guard_failure(state, failure)
 
@@ -308,7 +343,10 @@ class AdaptiveRuntime:
         state.osr_entries += 1
         self.events.append((state.base.name, "optimizing-osr", osr_point))
         try:
-            return Interpreter(step_limit=self.step_limit).resume(
+            # The backend's OSR entry stub maps the landing ProgramPoint
+            # into its own dispatch (a resume for the interpreter, a
+            # compiled stub entering mid-loop for the closure backend).
+            return self.opt_backend.run_from(
                 state.pair.optimized,
                 entry.target,
                 landing_env,
@@ -396,7 +434,7 @@ class AdaptiveRuntime:
                 failure.env[param] if param in failure.env else landing_env[param]
                 for param in cached.info.entry_params
             ]
-            return Interpreter(step_limit=self.step_limit).run(
+            return self.opt_backend.run(
                 cached.info.function, call_args, memory=failure.memory
             )
 
@@ -404,7 +442,7 @@ class AdaptiveRuntime:
         state.dispatch_misses += 1
         state.osr_exits += 1
         self.events.append((state.base.name, "deoptimizing-osr", failure.point))
-        result = Interpreter(step_limit=self.step_limit).resume(
+        result = self.base_backend.run_from(
             state.base,
             entry.target,
             landing_env,
@@ -467,6 +505,10 @@ class AdaptiveRuntime:
         if entry is None:
             raise KeyError(f"deoptimization not supported at {point}")
         try:
+            # Pausing at an arbitrary point needs ``break_at``, which only
+            # the interpreter provides: a forced external invalidation is
+            # an observation-heavy path, so it runs observably regardless
+            # of the optimized tier's backend.
             paused = Interpreter(step_limit=self.step_limit).run(
                 state.pair.optimized, args, memory=memory, break_at=point
             )
@@ -479,7 +521,7 @@ class AdaptiveRuntime:
         landing_env = state.backward_mapping.transfer(point, paused.env)
         state.osr_exits += 1
         self.events.append((name, "deoptimizing-osr", point))
-        return Interpreter(step_limit=self.step_limit).resume(
+        return self.base_backend.run_from(
             state.base,
             entry.target,
             landing_env,

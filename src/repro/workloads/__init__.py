@@ -3,10 +3,15 @@
 from .programs import (
     BENCHMARK_NAMES,
     BENCHMARK_SOURCES,
+    LOOP_KERNEL_NAMES,
+    STRAIGHT_LINE_NAMES,
+    STRAIGHT_LINE_SOURCES,
     benchmark_arguments,
     benchmark_function,
     benchmark_functions,
     benchmark_source,
+    straightline_arguments,
+    straightline_function,
 )
 from .generator import random_formal_program, random_minic_function
 from .spec_corpus import SPEC_BENCHMARKS, CorpusFunction, spec_corpus
@@ -26,10 +31,15 @@ __all__ = [
     "speculative_arguments",
     "BENCHMARK_NAMES",
     "BENCHMARK_SOURCES",
+    "LOOP_KERNEL_NAMES",
+    "STRAIGHT_LINE_NAMES",
+    "STRAIGHT_LINE_SOURCES",
     "benchmark_source",
     "benchmark_function",
     "benchmark_functions",
     "benchmark_arguments",
+    "straightline_function",
+    "straightline_arguments",
     "random_minic_function",
     "random_formal_program",
     "SPEC_BENCHMARKS",

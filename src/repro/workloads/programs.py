@@ -29,10 +29,15 @@ from ..ir.interp import Memory
 __all__ = [
     "BENCHMARK_NAMES",
     "BENCHMARK_SOURCES",
+    "LOOP_KERNEL_NAMES",
+    "STRAIGHT_LINE_NAMES",
+    "STRAIGHT_LINE_SOURCES",
     "benchmark_source",
     "benchmark_function",
     "benchmark_functions",
     "benchmark_arguments",
+    "straightline_function",
+    "straightline_arguments",
 ]
 
 #: The benchmarks of Table 2, in the paper's order.
@@ -347,6 +352,63 @@ func vp8(pixels, n) {
 }
 
 
+#: Every Table-2 kernel is dominated by a hot loop — where an
+#: OSR-capable compiled tier earns its keep.  The execution-backend
+#: benchmark (``benchmarks/record.py``) samples a subset of these for
+#: its interpreter-vs-compiled speedup floor.
+LOOP_KERNEL_NAMES: Tuple[str, ...] = BENCHMARK_NAMES
+
+
+#: Straight-line kernels: no loops, pure arithmetic and memory traffic.
+#: They isolate per-instruction dispatch overhead (the part of the
+#: interpreter a compiled backend eliminates even without loop residency).
+STRAIGHT_LINE_SOURCES: Dict[str, str] = {
+    # Horner evaluation of two fixed polynomials plus a mixing round —
+    # a long dependency chain of register arithmetic.
+    "poly8": """
+func poly8(x, y) {
+  var p = 7;
+  p = p * x + 3;
+  p = p * x + 11;
+  p = p * x + 2;
+  p = p * x + 9;
+  p = p * x + 5;
+  p = p * x + 1;
+  p = p * x + 8;
+  var q = 3;
+  q = q * y + 13;
+  q = q * y + 4;
+  q = q * y + 6;
+  q = q * y + 10;
+  var m = (p ^ q) + (p & q) * 3;
+  m = (m << 3) - (m >> 2);
+  var r = p * 5 - q * 7 + m % 1000003;
+  return r;
+}
+""",
+    # Saturating blend of eight memory cells — straight-line loads,
+    # compares and clamps (a loop-free slice of the vp8 filter).
+    "blend8": """
+func blend8(px) {
+  var a = px[0] + px[1] * 2;
+  var b = px[2] + px[3] * 2;
+  var c = px[4] + px[5] * 2;
+  var d = px[6] + px[7] * 2;
+  var hi = 255;
+  if (a > hi) { a = hi; }
+  if (b > hi) { b = hi; }
+  if (c > hi) { c = hi; }
+  if (d > hi) { d = hi; }
+  var mixed = (a * 9 + b * 3 + c * 3 + d) / 16;
+  px[8] = mixed;
+  return mixed * 4 + (a ^ d);
+}
+""",
+}
+
+STRAIGHT_LINE_NAMES: Tuple[str, ...] = tuple(STRAIGHT_LINE_SOURCES)
+
+
 def benchmark_source(name: str) -> str:
     """MiniC source of one named benchmark kernel."""
     try:
@@ -412,3 +474,29 @@ def benchmark_arguments(name: str, *, size: int = 24, seed: int = 7) -> Tuple[Li
     if name == "vp8":
         return [array(data), size], memory
     raise KeyError(f"unknown benchmark {name!r}")
+
+
+def straightline_function(name: str) -> Function:
+    """The f_base form of one straight-line (loop-free) kernel."""
+    try:
+        source = STRAIGHT_LINE_SOURCES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown straight-line kernel {name!r}; choose from {STRAIGHT_LINE_NAMES}"
+        ) from None
+    return compile_function(source, name)
+
+
+def straightline_arguments(name: str, *, seed: int = 5) -> Tuple[List[int], Memory]:
+    """Executable arguments (and memory) for one straight-line kernel."""
+    import random
+
+    rng = random.Random(seed + len(name))
+    memory = Memory()
+    if name == "poly8":
+        return [rng.randint(-9, 9), rng.randint(-9, 9)], memory
+    if name == "blend8":
+        base = memory.allocate(9)
+        memory.write_array(base, [rng.randint(0, 255) for _ in range(8)] + [0])
+        return [base], memory
+    raise KeyError(f"unknown straight-line kernel {name!r}")

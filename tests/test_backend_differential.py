@@ -1,0 +1,214 @@
+"""Cross-backend differential tests: interpreter vs closure-compiled.
+
+Every workload in :mod:`repro.workloads` must behave *identically* on
+both execution engines — same return values, same final environments,
+same guard-failure points, same deoptimization live states — because
+the runtime hops between engines mid-execution (profiled base runs
+interpreted, optimized code runs compiled) and any divergence would
+make an OSR transition unsound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OSRTransDriver
+from repro.core.bisimulation import check_guarded_deopt, check_ir_osr_transition
+from repro.ir import Interpreter
+from repro.ir.interp import GuardFailure
+from repro.passes import speculative_pipeline, standard_pipeline
+from repro.vm import (
+    AdaptiveRuntime,
+    CompiledBackend,
+    InterpreterBackend,
+    ValueProfile,
+    resolve_backend,
+)
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    SPECULATIVE_NAMES,
+    STRAIGHT_LINE_NAMES,
+    benchmark_arguments,
+    benchmark_function,
+    speculative_arguments,
+    speculative_function,
+    straightline_arguments,
+    straightline_function,
+)
+
+
+def _workload(name):
+    if name in STRAIGHT_LINE_NAMES:
+        return straightline_function(name), straightline_arguments(name)
+    if name in SPECULATIVE_NAMES:
+        return speculative_function(name), speculative_arguments(name)
+    return benchmark_function(name), benchmark_arguments(name)
+
+
+ALL_WORKLOADS = (
+    list(BENCHMARK_NAMES) + list(SPECULATIVE_NAMES) + list(STRAIGHT_LINE_NAMES)
+)
+
+
+@pytest.fixture(scope="module")
+def backends():
+    return InterpreterBackend(), CompiledBackend()
+
+
+# ---------------------------------------------------------------------- #
+# Result parity on every workload.
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_backends_agree_on_workload(name, backends):
+    interp, compiled = backends
+    function, (args, memory) = _workload(name)
+    reference = interp.run(function, args, memory=memory.copy())
+    actual = compiled.run(function, args, memory=memory.copy())
+    assert actual.value == reference.value
+    # The full final environment must agree too — not just the return
+    # value — so any divergence is caught at the register that diverged.
+    assert actual.env == reference.env
+    assert actual.backend == "compiled"
+    assert reference.backend == "interp"
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_backends_agree_after_optimization(name, backends):
+    """The optimized (non-speculative) version agrees across engines."""
+    interp, compiled = backends
+    function, (args, memory) = _workload(name)
+    pair = OSRTransDriver(standard_pipeline()).run(function)
+    reference = interp.run(pair.optimized, args, memory=memory.copy())
+    actual = compiled.run(pair.optimized, args, memory=memory.copy())
+    assert actual.value == reference.value
+
+
+# ---------------------------------------------------------------------- #
+# Guard failures: identical points and identical deopt live states.
+# ---------------------------------------------------------------------- #
+
+
+def _speculative_pair(name, warm_runs=6):
+    function = speculative_function(name)
+    profile = ValueProfile()
+    interp = Interpreter(profiler=profile)
+    for _ in range(warm_runs):
+        args, memory = speculative_arguments(name)
+        interp.run(function, args, memory=memory)
+    pair = OSRTransDriver(
+        speculative_pipeline(profile.function(name), min_samples=2)
+    ).run(function)
+    return function, pair
+
+
+@pytest.mark.parametrize("name", SPECULATIVE_NAMES)
+def test_guard_failures_are_identical_across_backends(name, backends):
+    interp, compiled = backends
+    _, pair = _speculative_pair(name)
+    backward, uncovered = pair.guarded_backward_mapping()
+    assert not uncovered
+
+    args, memory = speculative_arguments(name, violate=True)
+    failures = []
+    for backend in (interp, compiled):
+        with pytest.raises(GuardFailure) as excinfo:
+            backend.run(pair.optimized, args, memory=memory.copy())
+        failures.append(excinfo.value)
+
+    interp_failure, compiled_failure = failures
+    assert compiled_failure.point == interp_failure.point
+    assert compiled_failure.previous_block == interp_failure.previous_block
+    assert compiled_failure.reason == interp_failure.reason
+    # The raw live state at the guard is byte-identical...
+    assert compiled_failure.env == interp_failure.env
+    # ...and so is the transferred deopt landing state.
+    interp_landing = backward.transfer(interp_failure.point, interp_failure.env)
+    compiled_landing = backward.transfer(compiled_failure.point, compiled_failure.env)
+    assert compiled_landing == interp_landing
+
+
+@pytest.mark.parametrize("name", SPECULATIVE_NAMES)
+def test_guarded_deopt_bisimulation_on_compiled_backend(name, backends):
+    _, compiled = backends
+    base, pair = _speculative_pair(name)
+    backward, uncovered = pair.guarded_backward_mapping()
+    assert not uncovered
+    args, memory = speculative_arguments(name, violate=True)
+    assert check_guarded_deopt(
+        base, pair.optimized, backward, args, memory=memory, backend=compiled
+    )
+
+
+# ---------------------------------------------------------------------- #
+# OSR entry stubs: compiled landings are bisimilar to interpreter resumes.
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("name", SPECULATIVE_NAMES)
+def test_osr_entry_stubs_are_bisimilar(name, backends):
+    _, compiled = backends
+    base, pair = _speculative_pair(name)
+    forward = pair.forward_mapping()
+    args, memory = speculative_arguments(name)
+    checked = 0
+    for point in forward.domain():
+        if checked >= 8:  # keep the matrix fast; points are homogeneous
+            break
+        assert check_ir_osr_transition(
+            base,
+            pair.optimized,
+            forward,
+            point,
+            args,
+            memory=memory,
+            backend=compiled,
+        )
+        checked += 1
+    assert checked > 0
+
+
+# ---------------------------------------------------------------------- #
+# The runtime end to end: same results and same tiering decisions.
+# ---------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("name", SPECULATIVE_NAMES)
+def test_runtime_parity_across_opt_backends(name):
+    results = {}
+    for backend_name in ("interp", "compiled"):
+        function = speculative_function(name)
+        rt = AdaptiveRuntime(
+            hotness_threshold=3, min_samples=2, opt_backend=backend_name
+        )
+        rt.register(function)
+        values = []
+        for _ in range(5):
+            args, memory = speculative_arguments(name)
+            values.append(rt.call(name, args, memory=memory).value)
+        for _ in range(4):
+            args, memory = speculative_arguments(name, violate=True)
+            values.append(rt.call(name, args, memory=memory).value)
+        results[backend_name] = (values, rt.stats(name), [e[1] for e in rt.events])
+
+    interp_values, interp_stats, interp_events = results["interp"]
+    compiled_values, compiled_stats, compiled_events = results["compiled"]
+    assert compiled_values == interp_values
+    # Identical tiering decisions: same compile/speculate outcome, same
+    # OSR entries/exits, same guard failures, same continuation-cache
+    # behaviour — the engines differ in speed only.
+    assert compiled_stats == interp_stats
+    assert compiled_events == interp_events
+
+
+def test_resolve_backend_respects_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "interp")
+    assert resolve_backend(None).name == "interp"
+    monkeypatch.setenv("REPRO_BACKEND", "compiled")
+    assert resolve_backend(None).name == "compiled"
+    monkeypatch.delenv("REPRO_BACKEND")
+    assert resolve_backend(None).name == "compiled"  # the default tier engine
+    monkeypatch.setenv("REPRO_BACKEND", "no-such-engine")
+    with pytest.raises(ValueError):
+        resolve_backend(None)
