@@ -20,6 +20,14 @@ Emits ``BENCH_speculation.json`` with three kinds of metrics:
   a compiled tier that is not decisively faster than the interpreter is
   a regression even if it is "stable".
 
+* **inlining speedups** — ``inline_vs_noinline`` per call-heavy kernel:
+  steady-state warm-call time of the module-level adaptive runtime with
+  speculative inlining disabled vs enabled (same backend, same inputs).
+  The check enforces a hard floor (``--inline-floor``, default 1.5) on
+  at least ``--inline-floor-kernels`` (default 2) kernels: the
+  interprocedural tier must measurably erase call overhead, not just
+  pass its tests.
+
 Usage::
 
     python benchmarks/record.py                      # record a fresh file
@@ -59,10 +67,14 @@ from repro.vm import (  # noqa: E402
     ValueProfile,
 )
 from repro.workloads import (  # noqa: E402
+    CALL_KERNEL_ENTRIES,
+    CALL_KERNEL_NAMES,
     LOOP_KERNEL_NAMES,
     STRAIGHT_LINE_NAMES,
     benchmark_arguments,
     benchmark_function,
+    call_kernel_arguments,
+    call_kernel_module,
     speculative_arguments,
     speculative_function,
     straightline_arguments,
@@ -252,17 +264,68 @@ def _backend_speedups(repeats: int) -> dict:
     }
 
 
+#: Input size for the call-heavy kernels (loop-shaped ones; fib ignores it).
+INLINE_KERNEL_SIZE = 96
+
+
+def _inlining_speedups(repeats: int) -> dict:
+    """Steady-state warm-call ratio: inlining disabled vs enabled.
+
+    Both runtimes use the compiled optimized tier and identical inputs;
+    the only difference is the interprocedural inliner.  Warm-up calls
+    drive both through profiling, tier-up, and any speculative
+    invalidation/recompile rounds before the timed region, so the ratio
+    measures the steady state the tier settles into.
+    """
+    speedups: dict = {}
+    for name in CALL_KERNEL_NAMES:
+        entry = CALL_KERNEL_ENTRIES[name]
+        times = {}
+        for inline in (False, True):
+            module = call_kernel_module(name)
+            runtime = AdaptiveRuntime(
+                hotness_threshold=3,
+                min_samples=2,
+                inline=inline,
+                inline_min_calls=2,
+                opt_backend="compiled",
+            )
+            runtime.register_module(module)
+            args, memory = call_kernel_arguments(name, size=INLINE_KERNEL_SIZE)
+            for _ in range(10):
+                runtime.call(entry, args, memory=memory)
+            assert runtime.stats(entry)["compiled"], f"{name} never tiered up"
+            times[inline] = _median_seconds(
+                lambda: runtime.call(entry, args, memory=memory), repeats
+            )
+        speedups[name] = round(times[False] / times[True], 4)
+    ranked = sorted(speedups.values(), reverse=True)
+    return {
+        "inline_vs_noinline": speedups,
+        "second_best_speedup": ranked[1] if len(ranked) > 1 else 0.0,
+        "call_kernels": list(CALL_KERNEL_NAMES),
+    }
+
+
 def record(repeats: int) -> dict:
     return {
         "kernel": KERNEL,
         "counters": _scenario_counters(),
         "ratios": _timing_ratios(repeats),
         "backend": _backend_speedups(repeats),
+        "inlining": _inlining_speedups(repeats),
         "meta": {"repeats": repeats},
     }
 
 
-def check(current: dict, baseline: dict, tolerance: float, speedup_floor: float) -> list:
+def check(
+    current: dict,
+    baseline: dict,
+    tolerance: float,
+    speedup_floor: float,
+    inline_floor: float = 1.5,
+    inline_floor_kernels: int = 2,
+) -> list:
     problems = []
     for key, expected in baseline["counters"].items():
         actual = current["counters"].get(key)
@@ -305,6 +368,31 @@ def check(current: dict, baseline: dict, tolerance: float, speedup_floor: float)
                 f"loop kernel {key}: compiled speedup {actual} is below the "
                 f"floor of {speedup_floor}x"
             )
+
+    # Interprocedural tier: at least `inline_floor_kernels` call-heavy
+    # kernels must clear the inlining-speedup floor.
+    current_inline = current.get("inlining", {}).get("inline_vs_noinline", {})
+    cleared = [
+        key for key, ratio in current_inline.items() if ratio >= inline_floor
+    ]
+    if len(cleared) < inline_floor_kernels:
+        problems.append(
+            f"inlining speedups {current_inline} clear the {inline_floor}x "
+            f"floor on only {len(cleared)} kernels "
+            f"(need {inline_floor_kernels})"
+        )
+    baseline_inline = baseline.get("inlining", {}).get("inline_vs_noinline", {})
+    for key, expected in baseline_inline.items():
+        actual = current_inline.get(key)
+        if actual is None or actual <= 0:
+            problems.append(f"inlining speedup {key}: missing or non-positive ({actual})")
+            continue
+        drift = max(actual, expected) / min(actual, expected)
+        if drift > tolerance:
+            problems.append(
+                f"inlining speedup {key}: {actual} vs baseline {expected} "
+                f"(drift {drift:.2f}x > tolerance {tolerance}x)"
+            )
     return problems
 
 
@@ -318,6 +406,18 @@ def main(argv=None) -> int:
         type=float,
         default=3.0,
         help="minimum accepted compiled-backend speedup on the loop kernels",
+    )
+    parser.add_argument(
+        "--inline-floor",
+        type=float,
+        default=1.5,
+        help="minimum accepted inlining speedup on the call-heavy kernels",
+    )
+    parser.add_argument(
+        "--inline-floor-kernels",
+        type=int,
+        default=2,
+        help="how many call-heavy kernels must clear --inline-floor",
     )
     parser.add_argument("--repeats", type=int, default=30)
     parser.add_argument(
@@ -340,7 +440,14 @@ def main(argv=None) -> int:
         print(f"no baseline at {options.baseline}", file=sys.stderr)
         return 1
     baseline = json.loads(options.baseline.read_text())
-    problems = check(current, baseline, options.tolerance, options.speedup_floor)
+    problems = check(
+        current,
+        baseline,
+        options.tolerance,
+        options.speedup_floor,
+        options.inline_floor,
+        options.inline_floor_kernels,
+    )
     if problems:
         print("benchmark regression check FAILED:", file=sys.stderr)
         for problem in problems:

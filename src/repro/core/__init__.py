@@ -29,9 +29,17 @@ from .mapping import OSRMapping, OSRMappingEntry
 from .codemapper import (
     ActionKind,
     CodeMapper,
+    InlinedFrame,
     NullCodeMapper,
     PrimitiveAction,
     clone_for_optimization,
+)
+from .frames import (
+    DeoptPlan,
+    FramePlan,
+    FrameState,
+    RenamedView,
+    build_deopt_plans,
 )
 from .osr_trans import (
     FormalOSRTransResult,
@@ -45,6 +53,7 @@ from .bisimulation import (
     check_ir_osr_transition,
     check_live_variable_bisimulation,
     check_mapping_soundness,
+    check_multiframe_deopt,
     random_stores,
 )
 from .osrkit import (
@@ -62,11 +71,13 @@ __all__ = [
     "build_compensation", "classify_point", "reconstruct_variable",
     "OSRMapping", "OSRMappingEntry",
     "ActionKind", "PrimitiveAction", "CodeMapper", "NullCodeMapper",
-    "clone_for_optimization",
+    "InlinedFrame", "clone_for_optimization",
+    "DeoptPlan", "FramePlan", "FrameState", "RenamedView", "build_deopt_plans",
     "osr_trans_formal", "FormalOSRTransResult", "OSRTransDriver",
     "VersionPair", "PointReport",
     "check_live_variable_bisimulation", "check_mapping_soundness",
-    "check_ir_osr_transition", "check_guarded_deopt", "random_stores",
+    "check_ir_osr_transition", "check_guarded_deopt",
+    "check_multiframe_deopt", "random_stores",
     "split_block", "make_continuation", "ContinuationInfo", "OSRPoint",
     "perform_osr",
 ]

@@ -43,6 +43,7 @@ __all__ = [
     "check_mapping_soundness",
     "check_ir_osr_transition",
     "check_guarded_deopt",
+    "check_multiframe_deopt",
     "random_stores",
 ]
 
@@ -313,3 +314,88 @@ def check_guarded_deopt(
             previous_block=failure.previous_block,
         )
     return resumed.value == reference.value
+
+
+def check_multiframe_deopt(
+    base: Function,
+    optimized: Function,
+    plans: Mapping[ProgramPoint, "DeoptPlan"],
+    args: Sequence[int],
+    *,
+    module=None,
+    memory: Optional[Memory] = None,
+    step_limit: int = 1_000_000,
+    backend=None,
+    require_multiframe: bool = True,
+) -> bool:
+    """Validate a guard failure inside inlined code end to end.
+
+    Runs the interprocedurally optimized ``optimized`` on inputs expected
+    to violate a speculated assumption inside an inlined body, and checks
+    the multi-frame contract of :mod:`repro.core.frames`:
+
+    1. **coverage** — the failing guard has a deoptimization plan, and
+       (with ``require_multiframe``) the plan reconstructs more than one
+       frame, i.e. the guard really sat inside inlined code and the
+       failure's ``inline_path`` names the same virtual stack;
+    2. **completeness** — every frame's rebuilt environment defines every
+       variable live at that frame's landing point (minus the call
+       destination the runtime binds from the inner frame's return
+       value);
+    3. **equivalence** — unwinding the stack innermost-to-outermost in
+       the base tier (each frame's return value bound into the enclosing
+       frame's destination) produces exactly what an uninterrupted base
+       run of the caller produces.
+
+    ``backend`` selects the engine that executes the optimized version
+    (the resumes always use the interpreter: multi-frame unwinding is a
+    base-tier activity).  When no guard fires on these inputs, the
+    optimized result must simply equal the base result.
+    """
+    reference = Interpreter(module, step_limit=step_limit).run(
+        base, args, memory=memory.copy() if memory is not None else None
+    )
+    try:
+        run_memory = memory.copy() if memory is not None else None
+        if backend is not None:
+            speculative = backend.run(optimized, args, memory=run_memory)
+        else:
+            speculative = Interpreter(module, step_limit=step_limit).run(
+                optimized, args, memory=run_memory
+            )
+        return speculative.value == reference.value
+    except GuardFailure as exc:
+        failure = exc
+
+    plan = plans.get(failure.point)
+    if plan is None:
+        return False  # an uncovered guard fired: speculation was unsound
+    if require_multiframe and len(plan.frames) < 2:
+        return False
+    if failure.inline_path != plan.inline_path():
+        return False  # the raised failure mislabels its virtual stack
+
+    interpreter = Interpreter(module, step_limit=step_limit)
+    value: Optional[int] = None
+    result = None
+    for index, frame in enumerate(plan.frames):
+        env = frame.transfer(failure.env)
+        # (2) completeness, modulo the runtime-bound destination.
+        needed = set(frame.live_at_target) - ({frame.dest} if frame.dest else set())
+        if not needed <= set(env):
+            return False
+        if frame.dest is not None:
+            env[frame.dest] = value if value is not None else 0
+        result = interpreter.resume(
+            frame.function,
+            frame.target,
+            env,
+            memory=failure.memory,
+            previous_block=(
+                frame.translate_block(failure.previous_block) if index == 0 else None
+            ),
+        )
+        value = result.value
+
+    # (3) equivalence with the uninterrupted base-tier run.
+    return result is not None and result.value == reference.value

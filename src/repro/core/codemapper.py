@@ -25,14 +25,21 @@ the CodeMapper answers the two questions the OSR driver asks:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..ir.expr import Expr
 from ..ir.function import Function, ProgramPoint
 from ..ir.instructions import Instruction
 
-__all__ = ["ActionKind", "PrimitiveAction", "CodeMapper", "NullCodeMapper", "clone_for_optimization"]
+__all__ = [
+    "ActionKind",
+    "PrimitiveAction",
+    "InlinedFrame",
+    "CodeMapper",
+    "NullCodeMapper",
+    "clone_for_optimization",
+]
 
 
 class ActionKind:
@@ -54,6 +61,48 @@ class PrimitiveAction:
     kind: str
     detail: str = ""
     uid: Optional[int] = None
+
+
+@dataclass
+class InlinedFrame:
+    """One speculatively inlined call site: the anchor of a virtual frame.
+
+    The inlining pass splices a renamed copy of ``callee``'s body into
+    the caller's optimized clone and records here everything the
+    multi-frame deoptimization machinery needs to rebuild the callee's
+    own frame when a guard fires inside the inlined code:
+
+    * ``rename`` / ``uid_map`` / ``block_map`` — the injective renaming
+      applied to the callee's registers, instructions and block labels;
+    * ``call_uid`` — the uid of the ``call`` instruction (in the
+      optimized clone) the splice replaced; its twin in the *parent*
+      version locates the frame's return point;
+    * ``parent`` — the enclosing frame's index for nested inlining
+      (``None`` when the call site sits in straight caller code);
+    * ``dest`` — the register (in optimized naming) the call's return
+      value must land in when the reconstructed parent frame resumes;
+    * ``param_args`` — callee parameter name → the call's argument
+      expression as spelled at the site (in the enclosing context's
+      naming).  When later passes fold the parameter-binding glue away,
+      the deopt plan re-evaluates these expressions against the failing
+      state to seed the callee frame (SSA guarantees an argument
+      expression's inputs still hold their call-time values anywhere
+      inside the inlined body).
+    """
+
+    index: int
+    callee: Function
+    dest: Optional[str]
+    parent: Optional[int]
+    call_uid: int
+    rename: Dict[str, str]
+    uid_map: Dict[int, int]
+    block_map: Dict[str, str]
+    param_args: Dict[str, Expr] = field(default_factory=dict)
+
+    def inverse_rename(self) -> Dict[str, str]:
+        """Optimized register name → callee register name."""
+        return {new: old for old, new in self.rename.items()}
 
 
 class CodeMapper:
@@ -78,12 +127,33 @@ class CodeMapper:
         self.moved: set = set()
         #: optimized-version register → operand it was replaced with.
         self.aliases: Dict[str, Expr] = {}
-        #: guard uid (optimized) → original instruction uid to deoptimize to.
+        #: guard uid (optimized) → *optimized-side* anchor instruction uid.
         #: Guards are *added* instructions with no twin in the original
         #: version, and a branch guard has no surviving successor anchor in
         #: its block either — so speculative passes record the deopt target
-        #: explicitly (see :meth:`record_guard_anchor`).
+        #: explicitly (see :meth:`record_guard_anchor`).  The anchor is
+        #: resolved to an original-version uid at query time through
+        #: whichever backward uid map is asking: the caller's own map for
+        #: guards in straight caller code, or an inlined frame's map for
+        #: guards inside inlined callee bodies
+        #: (:meth:`frame_mapper`).
         self.guard_anchors: Dict[int, int] = {}
+        #: Per-site records of speculatively inlined callee bodies, in
+        #: inlining order (see :class:`InlinedFrame`).  Populated by the
+        #: inlining pass; consumed by the multi-frame deoptimization plan
+        #: builder (:mod:`repro.core.frames`).
+        self.inlined_frames: List["InlinedFrame"] = []
+        #: Optimized block label → index of the inlined frame whose
+        #: callee body the block belongs to.  Blocks absent from the map
+        #: (including the splice continuation blocks, which hold the
+        #: *parent* context's tail) belong to the caller.
+        self.block_frames: Dict[str, int] = {}
+        #: uid of a splice-glue instruction (argument binding, entry
+        #: jump) → uid of the ``call`` the splice replaced.  A guard
+        #: anchored to glue deoptimizes to the call itself: nothing of
+        #: the callee has executed yet, so the base tier simply
+        #: re-executes the whole call.
+        self.splice_anchors: Dict[int, int] = {}
         self.actions: List[PrimitiveAction] = []
 
     # ------------------------------------------------------------------ #
@@ -125,17 +195,41 @@ class CodeMapper:
         )
 
     def record_guard_anchor(self, guard: Instruction, anchor: Instruction) -> None:
-        """Pin a guard's deoptimization target to an original instruction.
+        """Pin a guard's deoptimization target to an anchor instruction.
 
         ``anchor`` is an instruction of the optimized function that still
-        has a twin in the original version (a cloned instruction —
-        possibly one the speculative pass is about to delete, like the
-        branch a ``guard+jmp`` pair replaces).  A failing guard
-        deoptimizes to the anchor's original program point.
+        has a twin in some base-tier version (a cloned caller instruction
+        — possibly one the speculative pass is about to delete, like the
+        branch a ``guard+jmp`` pair replaces — or the inlined copy of a
+        callee instruction).  A failing guard deoptimizes to the anchor's
+        program point in whichever base version the anchor translates
+        into.
         """
-        original_uid = self.backward_uid.get(anchor.uid)
-        if original_uid is not None:
-            self.guard_anchors[guard.uid] = original_uid
+        self.guard_anchors[guard.uid] = self.splice_anchors.get(anchor.uid, anchor.uid)
+
+    def record_inlined_frame(self, frame: "InlinedFrame") -> None:
+        """Register one speculatively inlined call site (see the pass)."""
+        self.inlined_frames.append(frame)
+
+    def frame_mapper(self, frame: "InlinedFrame") -> "CodeMapper":
+        """A point-correspondence mapper from ``frame``'s callee into this clone.
+
+        The returned mapper treats the callee's pristine f_base as the
+        "original" version and the caller's optimized clone as the
+        "optimized" version, linked by the uid map the inliner recorded
+        when it copied the callee body.  ``moved``, ``deleted``,
+        ``aliases`` and ``guard_anchors`` are *shared* with this mapper
+        (uids are process-unique, so actions recorded by later passes
+        against inlined instructions are visible through both), which is
+        what lets :meth:`corresponding_original_point` resolve a point
+        inside inlined code to the callee's own program point.
+        """
+        mapper = CodeMapper(frame.callee, self.optimized, frame.uid_map)
+        mapper.moved = self.moved
+        mapper.deleted = self.deleted
+        mapper.aliases = self.aliases
+        mapper.guard_anchors = self.guard_anchors
+        return mapper
 
     # ------------------------------------------------------------------ #
     # Statistics (Tables 1 and 2).
@@ -178,9 +272,11 @@ class CodeMapper:
         if block is not None and point.index < len(block.instructions):
             anchor_uid = self.guard_anchors.get(block.instructions[point.index].uid)
             if anchor_uid is not None:
-                located = self._uid_index(self.original).get(anchor_uid)
-                if located is not None:
-                    return self._skip_phi_run(self.original, located)
+                original_uid = self.backward_uid.get(anchor_uid)
+                if original_uid is not None:
+                    located = self._uid_index(self.original).get(original_uid)
+                    if located is not None:
+                        return self._skip_phi_run(self.original, located)
         return self._correspond(
             point,
             source=self.optimized,
@@ -264,6 +360,9 @@ class NullCodeMapper:
         pass
 
     def record_guard_anchor(self, guard: Instruction, anchor: Instruction) -> None:
+        pass
+
+    def record_inlined_frame(self, frame: InlinedFrame) -> None:
         pass
 
 

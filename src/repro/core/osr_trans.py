@@ -180,10 +180,30 @@ class VersionPair:
         compensation-code construction failed) would strand execution on
         failure.  Callers must treat a non-empty uncovered list as "do
         not install this speculative version".
+
+        This is the *intra*-procedural contract: guards inside inlined
+        code are invisible to the plain backward mapping and always land
+        in the uncovered list here.  Interprocedural clients use
+        :meth:`deopt_plans`, whose multi-frame plans cover them.
         """
         mapping = self._mapping(deopt=True, mode=mode)
         uncovered = [point for point in self.guard_points() if point not in mapping]
         return mapping, uncovered
+
+    def inlined_frames(self):
+        """The per-site inline records the pipeline left on the CodeMapper."""
+        return list(getattr(self.mapper, "inlined_frames", []))
+
+    def deopt_plans(self, mode: ReconstructionMode = ReconstructionMode.AVAIL):
+        """Multi-frame deoptimization plans for every guard (see core.frames).
+
+        Returns ``(plans, uncovered)`` — the interprocedural analogue of
+        :meth:`guarded_backward_mapping`; also stamps the optimized
+        function's ``"inline_paths"`` metadata.
+        """
+        from .frames import build_deopt_plans
+
+        return build_deopt_plans(self, mode)
 
     def forward_mapping(self, mode: ReconstructionMode = ReconstructionMode.AVAIL) -> OSRMapping:
         """A populated OSR mapping f_base → f_opt under the given strategy."""

@@ -35,7 +35,7 @@ itself, where registers keep their names.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Hashable, List, Optional, Set, Tuple
+from typing import AbstractSet, Hashable, List, Optional, Set, Tuple
 
 from ..ir.expr import Expr, free_vars
 from .compensation import CompensationCode
@@ -164,6 +164,23 @@ def reconstruct_variable(
         )
 
     dest, expr = assignment
+    # Clobber hazard: re-materializing ``var``'s definition writes the
+    # value it had at ``at_point``.  When ``var`` is *live* at the OSR
+    # destination holding a value from a **different** (later) definition,
+    # that write would clobber live state with a stale value — the
+    # compensation cannot express both, so the point is unsupported.  In
+    # SSA the reaching definition is unique everywhere and the condition
+    # never triggers.
+    if (
+        not single_assignment
+        and var in dst_live
+        and dst_view.unique_reaching_definition(var, dst_point) != defining_point
+    ):
+        raise CannotReconstruct(
+            var,
+            f"re-materializing the definition at {defining_point} would "
+            f"clobber the live value from {dst_view.unique_reaching_definition(var, dst_point)}",
+        )
     code: List[Tuple[str, Expr]] = []
     for operand in sorted(free_vars(expr)):
         code.extend(
@@ -191,6 +208,7 @@ def build_compensation(
     dst_point: Hashable,
     *,
     mode: ReconstructionMode = ReconstructionMode.LIVE,
+    assume_defined: AbstractSet[str] = frozenset(),
 ) -> CompensationCode:
     """Build the compensation code for an OSR from ``src_point`` to ``dst_point``.
 
@@ -198,6 +216,13 @@ def build_compensation(
     the source environment (when live there too — the LVB guarantee) or
     reconstructed with Algorithm 1.  Raises :class:`CannotReconstruct`
     when some live destination variable cannot be handled under ``mode``.
+
+    ``assume_defined`` names variables the *runtime* promises to bind
+    before resuming, so reconstruction must neither rebuild nor fail on
+    them.  The multi-frame deoptimization plan uses this for the register
+    an inlined call returns into: its value comes from finishing the
+    reconstructed callee frame, not from any state the failing version
+    still holds.
     """
     single_assignment = _is_single_assignment(src_view) and _is_single_assignment(dst_view)
     src_live = src_view.live_in(src_point)
@@ -208,6 +233,8 @@ def build_compensation(
     assignments: List[Tuple[str, Expr]] = []
 
     for var in sorted(dst_live):
+        if var in assume_defined:
+            continue
         if var in src_live:
             # Live at both ends: holds the same value by live-variable
             # bisimilarity; no compensation required.

@@ -289,6 +289,16 @@ class Module:
     def add(self, function: Function) -> Function:
         if function.name in self.functions:
             raise ValueError(f"duplicate function {function.name!r}")
+        from .intrinsics import is_intrinsic
+
+        if is_intrinsic(function.name):
+            # Intrinsic names are reserved: both execution engines resolve
+            # them before module functions, so a module definition would
+            # silently never run — reject it loudly instead.
+            raise ValueError(
+                f"function name {function.name!r} is a reserved intrinsic "
+                "(see repro.ir.intrinsics)"
+            )
         self.functions[function.name] = function
         return function
 

@@ -20,6 +20,7 @@ import itertools
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .expr import Expr, as_expr, free_vars, substitute
+from .intrinsics import intrinsic_accesses_memory, is_pure_callee
 
 __all__ = [
     "Instruction",
@@ -236,7 +237,13 @@ class Alloca(Instruction):
 
 
 class Call(Instruction):
-    """``dest = call @callee(args...)`` (dest may be omitted)."""
+    """``dest = call @callee(args...)`` (dest may be omitted).
+
+    Effect queries consult the intrinsic purity table
+    (:mod:`repro.ir.intrinsics`): a call to a known-pure intrinsic is
+    removable when dead, CSE-able and hoistable; every other callee keeps
+    the conservative may-do-anything treatment.
+    """
 
     def __init__(self, dest: Optional[str], callee: str, args: Sequence = ()) -> None:
         super().__init__()
@@ -261,10 +268,10 @@ class Call(Instruction):
         return Call(self.dest, self.callee, list(self.args))
 
     def has_side_effects(self) -> bool:
-        return True
+        return not is_pure_callee(self.callee)
 
     def accesses_memory(self) -> bool:
-        return True
+        return intrinsic_accesses_memory(self.callee)
 
     def __str__(self) -> str:
         args = ", ".join(str(a) for a in self.args)

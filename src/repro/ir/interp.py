@@ -21,10 +21,11 @@ visited by a run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .expr import evaluate
 from .function import Function, Module, ProgramPoint
+from .intrinsics import call_intrinsic, is_intrinsic, reject_reserved_names
 from .instructions import (
     Abort,
     Alloca,
@@ -80,6 +81,7 @@ class GuardFailure(RuntimeError):
         previous_block: Optional[str],
         *,
         reason: Optional[str] = None,
+        inline_path: Tuple[str, ...] = (),
     ) -> None:
         detail = f" ({reason})" if reason else ""
         super().__init__(f"@{function}: guard failed at {point}{detail}")
@@ -91,6 +93,17 @@ class GuardFailure(RuntimeError):
         #: The speculated fact the failing guard protected (when the
         #: guard-inserting pass recorded one) — pure diagnostics.
         self.reason = reason
+        #: The virtual call stack the guard sits in, innermost callee
+        #: first (empty when the guard is in straight caller code).  Set
+        #: from the function's ``"inline_paths"`` metadata recorded by
+        #: the inlining pass; the multi-frame deoptimization plan for
+        #: this point reconstructs exactly ``len(inline_path) + 1``
+        #: frames.  Both execution backends attach the same path, which
+        #: the differential tests assert.
+        self.inline_path = tuple(inline_path)
+        #: Materialized per-frame environments, filled in by the runtime
+        #: once the deoptimization plan has run (observability only).
+        self.frames: List["FrameState"] = []
 
 
 class Memory:
@@ -191,13 +204,15 @@ class Interpreter:
         Host functions callable as ``call @name(...)`` when ``name`` is not
         defined in the module.
     profiler:
-        Optional value/branch profile sink (duck-typed; see
+        Optional value/branch/call profile sink (duck-typed; see
         :class:`repro.vm.profile.ValueProfile`).  When set, the
         interpreter reports every defined register value via
-        ``record_value(function, register, value)`` and every
+        ``record_value(function, register, value)``, every
         conditional-branch outcome via
-        ``record_branch(function, point, taken)`` — the raw material a
-        speculative tier's guard-insertion pass consumes.
+        ``record_branch(function, point, taken)`` and every executed
+        call site via ``record_call(function, point, callee, args)`` —
+        the raw material the speculative and interprocedural tiers'
+        guard-insertion and inlining passes consume.
     """
 
     def __init__(
@@ -211,6 +226,9 @@ class Interpreter:
         self.module = module or Module("anonymous")
         self.step_limit = step_limit
         self.natives: Dict[str, NativeFunction] = dict(natives or {})
+        # Intrinsics resolve before natives; a colliding registration
+        # would silently never run, so refuse it up front.
+        reject_reserved_names(self.natives)
         self.profiler = profiler
         self._steps = 0
 
@@ -400,11 +418,14 @@ class Interpreter:
                 elif isinstance(inst, Alloca):
                     env[inst.dest] = memory.allocate(inst.size)
                 elif isinstance(inst, Call):
-                    result = self._call(inst, env, memory, collect_trace)
+                    result = self._call(inst, env, memory, collect_trace, function, point)
                     if inst.dest is not None:
                         env[inst.dest] = result
+                        if self.profiler is not None:
+                            self.profiler.record_value(function.name, inst.dest, result)
                 elif isinstance(inst, Guard):
                     if evaluate(inst.cond, env) == 0:
+                        paths = function.metadata.get("inline_paths", {})
                         raise GuardFailure(
                             function.name,
                             point,
@@ -412,6 +433,7 @@ class Interpreter:
                             memory,
                             prev_block,
                             reason=inst.reason,
+                            inline_path=paths.get(point, ()),
                         )
                 elif isinstance(inst, Nop):
                     pass
@@ -448,13 +470,27 @@ class Interpreter:
         env: Dict[str, int],
         memory: Memory,
         collect_trace: bool,
+        caller: Function,
+        point: ProgramPoint,
     ) -> int:
         arg_values = [evaluate(arg, env) for arg in inst.args]
+        if self.profiler is not None:
+            self.profiler.record_call(caller.name, point, inst.callee, arg_values)
+        # Intrinsic names are reserved (see repro.ir.intrinsics): they
+        # resolve before module functions so the optimizer's purity facts
+        # can never be invalidated by a shadowing definition.
+        if is_intrinsic(inst.callee):
+            result = call_intrinsic(inst.callee, arg_values)
+            assert result is not None
+            return result
         if inst.callee in self.module:
             callee = self.module.get(inst.callee)
             sub_env = {
                 name: value for name, value in zip(callee.params, arg_values)
             }
+            if self.profiler is not None:
+                for name, value in sub_env.items():
+                    self.profiler.record_value(callee.name, name, value)
             result = self._execute(
                 callee,
                 ProgramPoint(callee.entry_label, 0),

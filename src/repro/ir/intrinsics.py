@@ -1,0 +1,159 @@
+"""Purity table for known native/intrinsic callees.
+
+The IR's ``call`` instruction is opaque to the optimizer: a callee may
+read or write the heap, so :meth:`~repro.ir.instructions.Call.has_side_effects`
+and :meth:`~repro.ir.instructions.Call.accesses_memory` conservatively
+answer ``True`` and every call acts as a barrier to CSE (load
+invalidation), LICM (no hoisting) and ADCE (never dead).
+
+A small, well-known set of callees does not deserve that treatment: the
+*intrinsics* below are total, deterministic functions of their integer
+arguments that never touch memory.  The table records, per callee name:
+
+* ``pure`` — the call computes a value with no observable effect, so a
+  dead result makes the whole call dead (ADCE), two calls with the same
+  arguments compute the same value (CSE) and a loop-invariant call can be
+  hoisted (LICM);
+* ``accesses_memory`` — whether the callee reads or writes the heap
+  (``False`` for every current intrinsic; the flag exists so a future
+  read-only-but-heap-dependent intrinsic can stay CSE-able without
+  becoming hoistable past stores);
+* ``arity`` and an ``impl`` — a host-level implementation, which both
+  execution backends fall back to when a module does not define the
+  callee, so intrinsics are callable everywhere by default.
+
+User-registered natives are *not* in this table and keep the
+conservative barrier semantics: purity is a promise about the callee's
+behaviour, and only the intrinsics shipped here are known to keep it.
+Intrinsic names are **reserved**: both execution backends resolve them
+before module functions and natives, so a module definition can never
+shadow an intrinsic with different behaviour behind the optimizer's
+back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "Intrinsic",
+    "INTRINSICS",
+    "is_intrinsic",
+    "is_pure_callee",
+    "intrinsic_accesses_memory",
+    "reject_reserved_names",
+    "call_intrinsic",
+]
+
+
+@dataclass(frozen=True)
+class Intrinsic:
+    """One known callee: its effect summary plus a host implementation."""
+
+    name: str
+    arity: int
+    pure: bool
+    accesses_memory: bool
+    impl: Callable[..., int]
+
+
+def _clamp(value: int, lo: int, hi: int) -> int:
+    if lo > hi:
+        lo, hi = hi, lo
+    return min(max(value, lo), hi)
+
+
+def _gcd(a: int, b: int) -> int:
+    a, b = abs(a), abs(b)
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def _popcount(value: int) -> int:
+    # Negative inputs are counted on their 64-bit two's-complement pattern
+    # so the result is total (the IR is integer-only with 64-bit shifts).
+    return bin(value & (2**64 - 1)).count("1")
+
+
+def _ilog2(value: int) -> int:
+    # Total by convention: ilog2(v) is 0 for v <= 1.
+    return value.bit_length() - 1 if value > 1 else 0
+
+
+def _sign(value: int) -> int:
+    if value > 0:
+        return 1
+    if value < 0:
+        return -1
+    return 0
+
+
+#: The known-pure callee table, keyed by callee name.
+INTRINSICS: Dict[str, Intrinsic] = {
+    intrinsic.name: intrinsic
+    for intrinsic in (
+        Intrinsic("abs64", 1, True, False, abs),
+        Intrinsic("sign", 1, True, False, _sign),
+        Intrinsic("min2", 2, True, False, min),
+        Intrinsic("max2", 2, True, False, max),
+        Intrinsic("clamp", 3, True, False, _clamp),
+        Intrinsic("gcd", 2, True, False, _gcd),
+        Intrinsic("popcount", 1, True, False, _popcount),
+        Intrinsic("ilog2", 1, True, False, _ilog2),
+    )
+}
+
+
+def is_intrinsic(name: str) -> bool:
+    """Whether ``name`` is a known intrinsic callee."""
+    return name in INTRINSICS
+
+
+def is_pure_callee(name: str) -> bool:
+    """Whether a ``call @name(...)`` is known to be removable when dead."""
+    intrinsic = INTRINSICS.get(name)
+    return intrinsic is not None and intrinsic.pure
+
+
+def intrinsic_accesses_memory(name: str) -> bool:
+    """Whether a known intrinsic reads or writes the heap.
+
+    Unknown callees are *not* answered here — callers must keep their
+    conservative default for them.
+    """
+    intrinsic = INTRINSICS.get(name)
+    return intrinsic.accesses_memory if intrinsic is not None else True
+
+
+def reject_reserved_names(names) -> None:
+    """Raise :class:`ValueError` when any name collides with an intrinsic.
+
+    Used wherever callables are registered under IR-visible names
+    (module functions, host natives): intrinsics resolve first in every
+    engine, so a colliding registration would silently never run.
+    """
+    clashes = sorted(name for name in names if name in INTRINSICS)
+    if clashes:
+        raise ValueError(
+            f"reserved intrinsic name(s) {clashes} cannot be registered "
+            "(see repro.ir.intrinsics)"
+        )
+
+
+def call_intrinsic(name: str, args: List[int]) -> Optional[int]:
+    """Evaluate an intrinsic on argument values; ``None`` when unknown.
+
+    Raises :class:`TypeError` on an arity mismatch — an intrinsic call
+    with the wrong argument count is a verification-level bug, not a
+    recoverable condition.
+    """
+    intrinsic = INTRINSICS.get(name)
+    if intrinsic is None:
+        return None
+    if len(args) != intrinsic.arity:
+        raise TypeError(
+            f"intrinsic @{name} expects {intrinsic.arity} arguments, got {len(args)}"
+        )
+    return int(intrinsic.impl(*args))

@@ -198,30 +198,40 @@ def _split_top_level_commas(text: str) -> List[str]:
     return parts
 
 
+#: A definition prefix: ``dest =`` where ``=`` is assignment, not ``==``.
+#: Checked before any keyword form so a register that happens to be named
+#: like a keyword (``ret``, ``store``, ``guard``, …) still round-trips:
+#: the printer emits ``ret = call @g()`` for a register named ``ret``,
+#: and keyword dispatch must not swallow it.
+_DEF_RE = re.compile(r"[%A-Za-z_][A-Za-z_0-9.]*\s*=(?!=)")
+
+
 def _parse_instruction(line: str, line_no: int):
     """Parse a single instruction line (label lines handled by the caller)."""
     text = line.strip()
-    if text == "nop":
-        return Nop()
-    if text == "abort":
-        return Abort()
-    if text == "ret":
-        return Return(None)
-    if text.startswith("ret "):
-        return Return(parse_expr(text[4:]))
-    if text.startswith("jmp "):
-        return Jump(text[4:].strip())
-    if text.startswith("guard "):
-        return Guard(parse_expr(text[len("guard "):]))
-    branch_match = _BRANCH_RE.match(text)
-    if branch_match:
-        cond, then_target, else_target = branch_match.groups()
-        return Branch(parse_expr(cond), then_target, else_target)
-    if text.startswith("store "):
-        parts = _split_top_level_commas(text[len("store "):])
-        if len(parts) != 2:
-            raise ParseError("store expects exactly two operands", line_no)
-        return Store(parse_expr(parts[0]), parse_expr(parts[1]))
+    defines = _DEF_RE.match(text) is not None
+    if not defines:
+        if text == "nop":
+            return Nop()
+        if text == "abort":
+            return Abort()
+        if text == "ret":
+            return Return(None)
+        if text.startswith("ret "):
+            return Return(parse_expr(text[4:]))
+        if text.startswith("jmp "):
+            return Jump(text[4:].strip())
+        if text.startswith("guard "):
+            return Guard(parse_expr(text[len("guard "):]))
+        branch_match = _BRANCH_RE.match(text)
+        if branch_match:
+            cond, then_target, else_target = branch_match.groups()
+            return Branch(parse_expr(cond), then_target, else_target)
+        if text.startswith("store "):
+            parts = _split_top_level_commas(text[len("store "):])
+            if len(parts) != 2:
+                raise ParseError("store expects exactly two operands", line_no)
+            return Store(parse_expr(parts[0]), parse_expr(parts[1]))
     call_match = _CALL_RE.match(text)
     if call_match:
         dest, callee, args_text = call_match.groups()
@@ -237,7 +247,7 @@ def _parse_instruction(line: str, line_no: int):
             label, value = entry.split(":", 1)
             incoming[label.strip()] = parse_expr(value)
         return Phi(dest, incoming)
-    if "=" in text:
+    if defines:
         dest, rhs = text.split("=", 1)
         dest = dest.strip()
         rhs = rhs.strip()

@@ -13,6 +13,7 @@ from .base import Pass, PassManager, PipelineResult
 from .adce import AggressiveDCE
 from .constprop import ConstantPropagationPass
 from .cse import CommonSubexpressionElimination
+from .inline import InlineCalls
 from .licm import LoopInvariantCodeMotion
 from .loopcanon import LoopCanonicalization
 from .lcssa import LoopClosedSSA
@@ -27,6 +28,7 @@ __all__ = [
     "AggressiveDCE",
     "ConstantPropagationPass",
     "CommonSubexpressionElimination",
+    "InlineCalls",
     "LoopInvariantCodeMotion",
     "LoopCanonicalization",
     "LoopClosedSSA",
@@ -35,6 +37,7 @@ __all__ = [
     "SpeculativeGuards",
     "standard_pipeline",
     "speculative_pipeline",
+    "interprocedural_pipeline",
     "ALL_PASSES",
 ]
 
@@ -75,6 +78,7 @@ def speculative_pipeline(
     *,
     min_samples: int = 4,
     min_ratio: float = 0.999,
+    exclude=None,
 ) -> List[Pass]:
     """The speculative pipeline: guard insertion, then the standard passes.
 
@@ -84,6 +88,50 @@ def speculative_pipeline(
     (``constprop``/``sccp`` fold them through, ``adce`` deletes what died).
     """
     return [
-        SpeculativeGuards(profile, min_samples=min_samples, min_ratio=min_ratio),
+        SpeculativeGuards(
+            profile, min_samples=min_samples, min_ratio=min_ratio, exclude=exclude
+        ),
+        *standard_pipeline(),
+    ]
+
+
+def interprocedural_pipeline(
+    caller_profile,
+    merged_profile,
+    *,
+    resolve,
+    callee_profile,
+    min_samples: int = 4,
+    min_ratio: float = 0.999,
+    min_site_calls: int = 3,
+    max_callee_size: int = 80,
+    max_inline_depth: int = 2,
+    exclude=None,
+) -> List[Pass]:
+    """The interprocedural pipeline: inline, then speculate, then optimize.
+
+    ``InlineCalls`` must run first (while the clone's layout still
+    matches the profiled f_base) and augments ``merged_profile`` — a
+    throwaway copy of ``caller_profile`` — with renamed callee facts;
+    ``SpeculativeGuards`` reads the merged profile so it speculates
+    across the erased call boundaries, and the standard passes then
+    optimize the whole merged body at once.
+    """
+    return [
+        InlineCalls(
+            resolve,
+            caller_profile,
+            callee_profile=callee_profile,
+            merged_profile=merged_profile,
+            min_site_calls=min_site_calls,
+            max_callee_size=max_callee_size,
+            max_inline_depth=max_inline_depth,
+        ),
+        SpeculativeGuards(
+            merged_profile,
+            min_samples=min_samples,
+            min_ratio=min_ratio,
+            exclude=exclude,
+        ),
         *standard_pipeline(),
     ]

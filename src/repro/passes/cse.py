@@ -121,7 +121,33 @@ class CommonSubexpressionElimination(Pass):
                         to_delete.append((label, inst))
                         continue
                     load_table.insert(key, inst.dest)
-                elif isinstance(inst, (Store, Call)):
+                elif isinstance(inst, Call) and not inst.has_side_effects():
+                    # A known-pure intrinsic call is an expression: two
+                    # calls with the same canonicalized arguments compute
+                    # the same value, and purity means no load is
+                    # invalidated.  A pure-but-heap-reading callee is
+                    # additionally keyed by the memory generation so it
+                    # never dedupes across an intervening store.
+                    if inst.dest is None:
+                        continue
+                    key = (
+                        "pure-call",
+                        inst.callee,
+                        tuple(canonical_expr(arg) for arg in inst.args),
+                        generation[0] if inst.accesses_memory() else None,
+                    )
+                    existing = expr_table.lookup(key)
+                    if existing is not None:
+                        replacement = Var(str(existing))
+                        replacements[inst.dest] = replacement
+                        mapper.replace_all_uses_with(inst.dest, replacement, inst)
+                        mapper.delete_instruction(inst)
+                        to_delete.append((label, inst))
+                        continue
+                    expr_table.insert(key, inst.dest)
+                elif isinstance(inst, Store) or (
+                    isinstance(inst, Call) and inst.accesses_memory()
+                ):
                     # Conservatively invalidate remembered loads.
                     generation[0] += 1
             return 1

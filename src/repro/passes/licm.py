@@ -1,11 +1,12 @@
 """Loop-invariant code motion (LICM).
 
-Hoists pure assignments whose operands are loop-invariant from a loop body
-into the loop's preheader.  Safety conditions:
+Hoists pure computations whose operands are loop-invariant from a loop
+body into the loop's preheader.  Safety conditions:
 
-* the instruction is a pure ``Assign`` (no loads/stores/calls — the store
-  invariant of Section 5.3 is preserved trivially because memory
-  operations are never moved);
+* the instruction is a pure ``Assign`` or a call to a known-pure
+  intrinsic (:mod:`repro.ir.intrinsics`) — loads, stores and unknown
+  calls never move, so the store invariant of Section 5.3 is preserved
+  trivially;
 * every operand is defined outside the loop or by an already-hoisted
   instruction;
 * the defining block dominates every latch (so the instruction would have
@@ -29,11 +30,24 @@ from ..cfg.graph import ControlFlowGraph
 from ..cfg.loops import NaturalLoop, find_loops
 from ..core.codemapper import ActionKind, NullCodeMapper
 from ..ir.function import Function
-from ..ir.instructions import Assign
+from ..ir.instructions import Assign, Call, Instruction
 from ..ir.verify import is_ssa
 from .base import MapperLike, Pass
 
 __all__ = ["LoopInvariantCodeMotion"]
+
+
+def _is_hoistable(inst: Instruction) -> bool:
+    """Pure register computations: plain assigns and pure intrinsic calls."""
+    if isinstance(inst, Assign):
+        return True
+    if isinstance(inst, Call):
+        return (
+            inst.dest is not None
+            and not inst.has_side_effects()
+            and not inst.accesses_memory()
+        )
+    return False
 
 
 class LoopInvariantCodeMotion(Pass):
@@ -85,7 +99,7 @@ class LoopInvariantCodeMotion(Pass):
             for label in sorted(loop.body):
                 block = function.blocks[label]
                 for inst in list(block.instructions):
-                    if not isinstance(inst, Assign):
+                    if not _is_hoistable(inst):
                         continue
                     if inst.dest in hoisted:
                         continue

@@ -60,12 +60,17 @@ class SpeculativeGuards(Pass):
         min_ratio: float = 0.999,
         speculate_values: bool = True,
         speculate_branches: bool = True,
+        exclude: Optional[set] = None,
     ) -> None:
         self.profile = profile
         self.min_samples = min_samples
         self.min_ratio = min_ratio
         self.speculate_values = speculate_values
         self.speculate_branches = speculate_branches
+        #: Guard *reasons* never to speculate again — the adaptive
+        #: runtime records a reason here after repeated failures refute
+        #: the assumption at runtime, then recompiles without it.
+        self.exclude = set(exclude or ())
         #: Guards inserted by the last ``run`` (for tests and stats).
         self.inserted_guards: List[Guard] = []
 
@@ -149,10 +154,10 @@ class SpeculativeGuards(Pass):
                     insert_at = len(block.phis())
             else:
                 continue
-            guard = Guard(
-                BinOp("eq", Var(name), Const(value)),
-                reason=f"assume-constant {name} == {value}",
-            )
+            reason = f"assume-constant {name} == {value}"
+            if reason in self.exclude:
+                continue
+            guard = Guard(BinOp("eq", Var(name), Const(value)), reason=reason)
             plan.append((block, insert_at, guard, block.instructions[insert_at]))
             speculated[name] = Const(value)
 
@@ -191,14 +196,14 @@ class SpeculativeGuards(Pass):
         if block.terminator is not branch:
             return False  # a value guard landed after it, or it was rewritten
         hot = branch.then_target if direction else branch.else_target
-        guard_cond = branch.cond if direction else UnOp("not", branch.cond)
-        guard = Guard(
-            guard_cond,
-            reason=(
-                f"assume-branch {block.label} -> {hot} "
-                f"({'then' if direction else 'else'} side hot)"
-            ),
+        reason = (
+            f"assume-branch {block.label} -> {hot} "
+            f"({'then' if direction else 'else'} side hot)"
         )
+        if reason in self.exclude:
+            return False
+        guard_cond = branch.cond if direction else UnOp("not", branch.cond)
+        guard = Guard(guard_cond, reason=reason)
         jump = Jump(hot)
 
         block.insert(len(block.instructions) - 1, guard)

@@ -10,7 +10,13 @@ from .backend import (
     resolve_backend,
 )
 from .closure_compile import ClosureCompiler, CompiledFunction, compile_ir_function
-from .profile import BranchProfile, FunctionProfile, RegisterProfile, ValueProfile
+from .profile import (
+    BranchProfile,
+    CallSiteProfile,
+    FunctionProfile,
+    RegisterProfile,
+    ValueProfile,
+)
 from .runtime import (
     AdaptiveRuntime,
     CachedContinuation,
@@ -27,6 +33,7 @@ __all__ = [
     "FunctionProfile",
     "RegisterProfile",
     "BranchProfile",
+    "CallSiteProfile",
     "ExecutionBackend",
     "InterpreterBackend",
     "CompiledBackend",

@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from ..ir.function import Function, Module, ProgramPoint
 from ..ir.interp import ExecutionResult, Interpreter, Memory, NativeFunction
+from ..ir.intrinsics import call_intrinsic, is_intrinsic, reject_reserved_names
 from .closure_compile import ClosureCompiler
 
 __all__ = [
@@ -91,12 +92,27 @@ class ExecutionBackend:
         *,
         memory: Optional[Memory] = None,
         previous_block: Optional[str] = None,
+        profiler=None,
     ) -> ExecutionResult:
         """Resume ``function`` at ``point`` — the landing side of an OSR.
 
         The caller is responsible for having produced ``env`` via the
         appropriate OSR mapping (compensation code plus liveness
-        restriction, plus any K_avail keep-alive values).
+        restriction, plus any K_avail keep-alive values).  ``profiler``
+        is honoured by profiling engines only: a deoptimization landing
+        runs in the base tier, and profiling it lets the runtime keep
+        *learning* after a speculation is refuted instead of freezing
+        the histograms a hasty tier-up left behind.
+        """
+        raise NotImplementedError
+
+    def register_native(self, name: str, fn: NativeFunction) -> None:
+        """Make ``call @name(...)`` dispatch to a host function.
+
+        The module-level adaptive runtime uses this to route residual
+        calls in *any* tier back through itself, so every callee is
+        counted, profiled and tiered independently no matter which
+        engine executed the caller.
         """
         raise NotImplementedError
 
@@ -115,8 +131,13 @@ class InterpreterBackend(ExecutionBackend):
         step_limit: int = 2_000_000,
     ) -> None:
         self.module = module
-        self.natives = natives
+        self.natives: Dict[str, NativeFunction] = dict(natives or {})
+        reject_reserved_names(self.natives)
         self.step_limit = step_limit
+
+    def register_native(self, name: str, fn: NativeFunction) -> None:
+        reject_reserved_names((name,))
+        self.natives[name] = fn
 
     def run(
         self,
@@ -142,9 +163,13 @@ class InterpreterBackend(ExecutionBackend):
         *,
         memory: Optional[Memory] = None,
         previous_block: Optional[str] = None,
+        profiler=None,
     ) -> ExecutionResult:
         interpreter = Interpreter(
-            self.module, step_limit=self.step_limit, natives=self.natives
+            self.module,
+            step_limit=self.step_limit,
+            natives=self.natives,
+            profiler=profiler,
         )
         return interpreter.resume(
             function, point, env, memory=memory, previous_block=previous_block
@@ -185,6 +210,7 @@ class CompiledBackend(ExecutionBackend):
     ) -> None:
         self.module = module
         self.natives: Dict[str, NativeFunction] = dict(natives or {})
+        reject_reserved_names(self.natives)
         self.step_limit = step_limit
         self.compiler = ClosureCompiler(
             step_limit=step_limit, resolve_call=self._resolve_call
@@ -194,13 +220,24 @@ class CompiledBackend(ExecutionBackend):
     # Call resolution shared by every function this backend compiles.
     # -------------------------------------------------------------- #
     def _resolve_call(self, callee: str, args: List[int], memory: Memory) -> int:
+        # Intrinsic names are reserved (see repro.ir.intrinsics); after
+        # that, the resolution order matches the interpreter's: module
+        # functions, then host natives.
+        if is_intrinsic(callee):
+            result = call_intrinsic(callee, list(args))
+            assert result is not None
+            return result
         if self.module is not None and callee in self.module:
             result = self.run(self.module.get(callee), args, memory=memory)
             return result.value if result.value is not None else 0
         native = self.natives.get(callee)
-        if native is None:
-            raise KeyError(f"call to unknown function @{callee}")
-        return int(native(list(args), memory))
+        if native is not None:
+            return int(native(list(args), memory))
+        raise KeyError(f"call to unknown function @{callee}")
+
+    def register_native(self, name: str, fn: NativeFunction) -> None:
+        reject_reserved_names((name,))
+        self.natives[name] = fn
 
     # -------------------------------------------------------------- #
     # ExecutionBackend interface.
@@ -229,7 +266,10 @@ class CompiledBackend(ExecutionBackend):
         *,
         memory: Optional[Memory] = None,
         previous_block: Optional[str] = None,
+        profiler=None,
     ) -> ExecutionResult:
+        # Compiled code does not observe values; ``profiler`` is accepted
+        # for interface parity and ignored.
         stub = self.compiler.compile(function, point)
         return stub(dict(env), memory, previous_block)
 

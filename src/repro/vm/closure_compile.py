@@ -43,6 +43,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..ir.expr import BinOp, Const, Expr, UnOp, Undef, Var, int_div, int_rem
 from ..ir.function import BasicBlock, Function, ProgramPoint
+from ..ir.intrinsics import call_intrinsic
 from ..ir.instructions import (
     Abort,
     Alloca,
@@ -298,6 +299,7 @@ class ClosureCompiler:
             "_snapshot": _make_snapshot(emitter.name_table),
             "_PP": emitter.point_table,
             "_REASONS": emitter.reason_table,
+            "_IPATHS": emitter.path_table,
             "_FNAME": function.name,
             "_FUEL": self.step_limit,
         }
@@ -308,7 +310,10 @@ class ClosureCompiler:
 
 
 def _no_calls(name: str, args: List[int], memory: Memory) -> int:
-    raise KeyError(f"call to unknown function @{name}")
+    result = call_intrinsic(name, args)
+    if result is None:
+        raise KeyError(f"call to unknown function @{name}")
+    return result
 
 
 def _make_snapshot(name_table: List[Tuple[str, str]]):
@@ -349,6 +354,10 @@ class _Emitter:
         self.point_table: List[ProgramPoint] = []
         #: Guard reasons (the speculated facts), same indexing.
         self.reason_table: List[Optional[str]] = []
+        #: Virtual call stacks (innermost callee first) for guards inside
+        #: inlined code, same indexing; read from the function's
+        #: ``"inline_paths"`` metadata stamped by the deopt-plan builder.
+        self.path_table: List[Tuple[str, ...]] = []
         self.lines: List[str] = []
 
     # -------------------------------------------------------------- #
@@ -520,11 +529,13 @@ class _Emitter:
             slot = len(self.point_table)
             self.point_table.append(point)
             self.reason_table.append(inst.reason)
+            paths = self.function.metadata.get("inline_paths", {})
+            self.path_table.append(tuple(paths.get(point, ())))
             self._w(indent, f"if not {compile_expr(inst.cond)}:")
             self._w(
                 indent + 1,
                 f"raise _GF(_FNAME, _PP[{slot}], _snapshot(locals()), _memory, "
-                f"_prev, reason=_REASONS[{slot}])",
+                f"_prev, reason=_REASONS[{slot}], inline_path=_IPATHS[{slot}])",
             )
         elif isinstance(inst, Nop):
             self._w(indent, "pass")

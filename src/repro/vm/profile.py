@@ -19,11 +19,17 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..ir.function import ProgramPoint
 
-__all__ = ["RegisterProfile", "BranchProfile", "FunctionProfile", "ValueProfile"]
+__all__ = [
+    "RegisterProfile",
+    "BranchProfile",
+    "CallSiteProfile",
+    "FunctionProfile",
+    "ValueProfile",
+]
 
 #: Histograms stop distinguishing values past this many distinct entries;
 #: a register that overflows is certainly not monomorphic.
@@ -78,11 +84,45 @@ class BranchProfile:
 
 
 @dataclass
+class CallSiteProfile:
+    """Execution facts about one ``call`` site.
+
+    Records how often the site executed, which callees it dispatched to
+    (direct calls are trivially monomorphic, but the counter keeps the
+    shape ready for indirect calls) and a bounded per-argument value
+    histogram — the raw material for argument-value speculation inside
+    an inlined body.
+    """
+
+    callees: Counter = field(default_factory=Counter)
+    arg_values: List[RegisterProfile] = field(default_factory=list)
+
+    def record(self, callee: str, args: Sequence[int]) -> None:
+        self.callees[callee] += 1
+        while len(self.arg_values) < len(args):
+            self.arg_values.append(RegisterProfile())
+        for slot, value in zip(self.arg_values, args):
+            slot.record(value)
+
+    @property
+    def samples(self) -> int:
+        return sum(self.callees.values())
+
+    def dominant_callee(self) -> Tuple[str, float]:
+        """The most frequent callee and its share of all executions."""
+        if not self.callees:
+            return "", 0.0
+        name, count = self.callees.most_common(1)[0]
+        return name, count / self.samples
+
+
+@dataclass
 class FunctionProfile:
     """All recorded facts about one function."""
 
     values: Dict[str, RegisterProfile] = field(default_factory=dict)
     branches: Dict[ProgramPoint, BranchProfile] = field(default_factory=dict)
+    call_sites: Dict[ProgramPoint, CallSiteProfile] = field(default_factory=dict)
 
     def monomorphic_values(
         self, *, min_samples: int = 4, min_ratio: float = 0.999
@@ -118,6 +158,80 @@ class FunctionProfile:
             if ratio >= min_ratio:
                 result[point] = direction
         return result
+
+    def hot_call_sites(
+        self, *, min_calls: int = 4, min_ratio: float = 0.999
+    ) -> Dict[ProgramPoint, str]:
+        """Call sites hot enough to inline, mapped to their dominant callee.
+
+        A site qualifies when it executed at least ``min_calls`` times and
+        (essentially) always dispatched to one callee.
+        """
+        result: Dict[ProgramPoint, str] = {}
+        for point, prof in self.call_sites.items():
+            if prof.samples < min_calls:
+                continue
+            callee, ratio = prof.dominant_callee()
+            if callee and ratio >= min_ratio:
+                result[point] = callee
+        return result
+
+    def merge_renamed(
+        self,
+        other: "FunctionProfile",
+        *,
+        rename: Dict[str, str],
+        block_map: Dict[str, str],
+        params: Sequence[str] = (),
+        site_args: Sequence[RegisterProfile] = (),
+    ) -> None:
+        """Fold a callee's profile in under inlined (renamed) names.
+
+        ``rename`` maps callee registers to their inlined names and
+        ``block_map`` maps callee block labels to inlined labels — the
+        correspondence the inlining pass recorded.  ``site_args`` are the
+        call site's per-argument histograms; when present they override
+        the callee's own parameter histograms, because the site-specific
+        distribution is what holds inside *this* inlined body (a callee
+        polymorphic across sites is often monomorphic per site).
+        """
+        for reg, prof in other.values.items():
+            new = rename.get(reg)
+            if new is not None and new not in self.values:
+                self.values[new] = RegisterProfile(Counter(prof.counts), prof.overflowed)
+        for index, param in enumerate(params):
+            if index < len(site_args) and param in rename:
+                slot = site_args[index]
+                self.values[rename[param]] = RegisterProfile(
+                    Counter(slot.counts), slot.overflowed
+                )
+        for point, br in other.branches.items():
+            new_label = block_map.get(point.block)
+            if new_label is not None:
+                self.branches[ProgramPoint(new_label, point.index)] = BranchProfile(
+                    br.taken, br.not_taken
+                )
+
+    def clone(self) -> "FunctionProfile":
+        """An independent deep copy (histograms included).
+
+        The inlining pipeline augments a *copy* of the caller's profile
+        with renamed callee facts; cloning keeps that augmentation out of
+        the persistent profile the base tier keeps feeding.
+        """
+        copy = FunctionProfile()
+        for name, prof in self.values.items():
+            copy.values[name] = RegisterProfile(Counter(prof.counts), prof.overflowed)
+        for point, br in self.branches.items():
+            copy.branches[point] = BranchProfile(br.taken, br.not_taken)
+        for point, site in self.call_sites.items():
+            clone_site = CallSiteProfile(Counter(site.callees))
+            clone_site.arg_values = [
+                RegisterProfile(Counter(slot.counts), slot.overflowed)
+                for slot in site.arg_values
+            ]
+            copy.call_sites[point] = clone_site
+        return copy
 
 
 class ValueProfile:
@@ -156,6 +270,15 @@ class ValueProfile:
             br.taken += 1
         else:
             br.not_taken += 1
+
+    def record_call(
+        self, function: str, point: ProgramPoint, callee: str, args: Sequence[int]
+    ) -> None:
+        profile = self.function(function)
+        site = profile.call_sites.get(point)
+        if site is None:
+            site = profile.call_sites[point] = CallSiteProfile()
+        site.record(callee, args)
 
     def __repr__(self) -> str:
         return f"<ValueProfile {len(self.functions)} functions>"

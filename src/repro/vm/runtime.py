@@ -1,52 +1,51 @@
-"""TinyVM-like adaptive runtime with a speculative tier.
+"""Module-level adaptive runtime with speculative and interprocedural tiers.
 
 A multi-tier execution engine that exercises the OSR framework the way a
 speculating JIT would (the paper's TinyVM testbed plays the same role;
-the dispatched-OSR tier follows Flückiger et al.'s *Deoptless*).
+the dispatched-OSR tier follows Flückiger et al.'s *Deoptless*, and the
+inlining tier follows the compensation-based treatment of aggressive
+transformations in "On-Stack Replacement à la Carte").
 
-Every tier names an **execution backend** (:mod:`repro.vm.backend`): the
-profiled base tier runs on the interpreter (the only engine that can
-observe values and pause at arbitrary points), while optimized versions
-and cached continuations run on the configured *optimized-tier backend*
-— the closure-compiled engine by default, or whatever ``REPRO_BACKEND``
-selects.  Deoptimization is backend-agnostic: a failing guard raises the
-same :class:`~repro.ir.interp.GuardFailure` with the same live state no
-matter which engine executed it, so the deopt/continuation machinery
-below never branches on the engine.
+The runtime tiers **every function of a module**: callees are registered
+alongside their callers, every ``call @f(...)`` executed by *any* engine
+— the profiled interpreter or the closure-compiled backend — dispatches
+back through :meth:`AdaptiveRuntime.call`, so each callee is counted,
+profiled, and compiled independently, and a guard failure inside a
+callee's optimized code is handled entirely within that callee's
+activation.
 
 * **Tier 0 — base.**  Functions start in the interpreter running f_base,
   with a :class:`~repro.vm.profile.ValueProfile` recording register
-  values and branch directions.
+  values, branch directions and per-call-site callee/argument facts.
 
-* **Tier 1 — speculative optimized.**  A per-function hotness counter is
-  bumped on every call; at the threshold the runtime builds an optimized
-  version with the OSR-aware pipeline *prefixed by profile-guided guard
-  insertion* (:func:`~repro.passes.speculative_pipeline`): monomorphic
-  registers become guarded constants, biased branches become guarded
-  jumps, and ``constprop``/``sccp``/``adce`` prune the cold paths the
-  guards made dead.  The optimized version runs on the optimized-tier
-  backend; an OSR entry lands in it through the backend's
-  ``run_from`` entry stub.  The currently pending execution is
-  transferred to the optimized code mid-loop (an optimizing OSR), but
-  only after
-  checking that every speculated fact that will *not* be re-checked past
-  the landing point actually holds for the in-flight state.  Speculation
-  is installed only when every guard point is covered by the backward
-  (deoptimization) mapping — an uncovered guard would strand execution
-  on failure — otherwise the runtime falls back to the plain pipeline.
+* **Tier 1 — speculative optimized, interprocedural.**  At the hotness
+  threshold the runtime builds an optimized version with the
+  interprocedural pipeline (:func:`~repro.passes.interprocedural_pipeline`):
+  hot call sites are speculatively inlined (callee profiles merged in
+  under renamed registers), guards are inserted for monomorphic values —
+  including argument values and registers inside inlined bodies — and
+  biased branches, and the standard passes optimize the merged body.
+  The version is installed only when **every** guard has a
+  deoptimization plan (:func:`~repro.core.frames.build_deopt_plans`);
+  a guard inside inlined code gets a *multi-frame* plan.
 
-* **Guard failure — deoptimizing OSR.**  A failing guard raises
-  :class:`~repro.ir.interp.GuardFailure`; the runtime transfers the live
-  state through the backward mapping (compensation code, liveness
-  restriction) and finishes the call in f_base.
+* **Guard failure — multi-frame deoptimizing OSR.**  A failing guard
+  raises :class:`~repro.ir.interp.GuardFailure`.  For a guard in
+  straight caller code the runtime transfers the live state through the
+  single-frame plan and finishes the call in f_base (caching a
+  Deoptless-style dispatched continuation for repeat failures).  For a
+  guard inside inlined code the runtime materializes the whole virtual
+  stack: the innermost callee frame resumes in the base tier at the
+  mapped callee point, its return value is bound into the enclosing
+  frame's call destination, and each enclosing frame resumes just past
+  its call site — innermost to outermost — until the caller's own
+  f_base completes the call.
 
-* **Tier 2 — dispatched OSR continuations.**  On a guard failure the
-  runtime also *caches* a specialized continuation for that (guard
-  point, live-state shape): an OSRKit-style f_base continuation with the
-  compensation code baked into its entry block, unreachable blocks
-  pruned and constants folded.  A repeated failure with the same shape
-  dispatches straight to the cached continuation instead of falling all
-  the way back to f_base and re-warming — the Deoptless move.
+* **Recursion fuel.**  Because every inter-function call funnels through
+  :meth:`call`, the runtime enforces a backend-independent call-depth
+  budget: deep recursion exhausts fuel deterministically (same depth,
+  same :class:`~repro.ir.interp.StepLimitExceeded`) on both engines
+  instead of overflowing the host Python stack.
 
 The runtime is deliberately small: its purpose is to demonstrate and
 test end-to-end transitions, not to be fast.
@@ -57,16 +56,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from ..core.frames import DeoptPlan, FrameState
 from ..core.mapping import OSRMapping
 from ..core.osr_trans import OSRTransDriver, VersionPair
 from ..core.osrkit import ContinuationInfo, make_continuation
 from ..core.reconstruct import ReconstructionMode
 from ..ir.expr import evaluate, free_vars
-from ..ir.function import Function, ProgramPoint
+from ..ir.function import Function, Module, ProgramPoint
 from ..ir.instructions import Guard
-from ..ir.interp import ExecutionResult, GuardFailure, Interpreter, Memory
+from ..ir.interp import (
+    ExecutionResult,
+    GuardFailure,
+    Interpreter,
+    Memory,
+    NativeFunction,
+    StepLimitExceeded,
+)
 from ..passes import (
     ConstantPropagationPass,
+    interprocedural_pipeline,
     speculative_pipeline,
     standard_pipeline,
 )
@@ -108,16 +116,30 @@ class TieredFunction:
     forward_mapping: Optional[OSRMapping] = None
     backward_mapping: Optional[OSRMapping] = None
     speculative: bool = False
-    #: Registers the ``avail`` deopt compensations read even though they
-    #: are dead in the optimized code (the paper's K_avail): the runtime
-    #: must keep them alive across an optimizing OSR entry.
+    #: Per-guard deoptimization plans (multi-frame for guards inside
+    #: inlined code); the install-time coverage contract is that every
+    #: guard point has one.
+    deopt_plans: Dict[ProgramPoint, DeoptPlan] = field(default_factory=dict)
+    #: Registers the deopt compensations read even though they are dead
+    #: in the optimized code (the paper's K_avail): the runtime must keep
+    #: them alive across an optimizing OSR entry.
     deopt_keep_alive: FrozenSet[str] = frozenset()
     call_count: int = 0
     osr_entries: int = 0
     osr_exits: int = 0
     guard_failures: int = 0
+    multiframe_deopts: int = 0
+    invalidations: int = 0
     dispatch_hits: int = 0
     dispatch_misses: int = 0
+    #: Per-guard-point failure counters of the *current* optimized version.
+    failures_at: Dict[ProgramPoint, int] = field(default_factory=dict)
+    #: Guard reasons refuted by repeated runtime failures; the next
+    #: compilation excludes them so the optimized version stops paying a
+    #: deoptimization on every call (the profile that suggested them was
+    #: unrepresentative — e.g. a callee that tiered up before its
+    #: histograms converged).
+    refuted_reasons: set = field(default_factory=set)
     continuations: Dict[ContinuationKey, CachedContinuation] = field(
         default_factory=dict
     )
@@ -130,9 +152,13 @@ class TieredFunction:
     def is_compiled(self) -> bool:
         return self.pair is not None
 
+    @property
+    def inlined_frames(self) -> int:
+        return len(self.pair.inlined_frames()) if self.pair is not None else 0
+
 
 class AdaptiveRuntime:
-    """An N-tier runtime: base → speculative optimized → dispatched continuations.
+    """An N-tier, module-level runtime with interprocedural speculation.
 
     ``opt_backend`` names the engine that executes optimized versions and
     cached continuations (``"interp"``, ``"compiled"``, an
@@ -141,6 +167,11 @@ class AdaptiveRuntime:
     ``compiled``).  ``base_backend`` names the engine for the profiled
     base tier and deopt landings; it must support profiling, so it
     defaults to (and is validated as) a profiling engine.
+
+    ``inline`` enables speculative inlining of hot call sites inside the
+    optimized tier; ``max_call_depth`` is the backend-independent
+    recursion fuel (every inter-function call dispatches through the
+    runtime and counts against it).
     """
 
     def __init__(
@@ -153,6 +184,12 @@ class AdaptiveRuntime:
         speculate: bool = True,
         min_samples: int = 4,
         min_ratio: float = 0.999,
+        inline: bool = True,
+        inline_min_calls: int = 3,
+        max_callee_size: int = 80,
+        max_inline_depth: int = 2,
+        max_call_depth: int = 96,
+        invalidate_after: int = 2,
         opt_backend=None,
         base_backend=None,
     ) -> None:
@@ -163,6 +200,12 @@ class AdaptiveRuntime:
         self.speculate = speculate and passes is None
         self.min_samples = min_samples
         self.min_ratio = min_ratio
+        self.inline = inline and self.speculate
+        self.inline_min_calls = inline_min_calls
+        self.max_callee_size = max_callee_size
+        self.max_inline_depth = max_inline_depth
+        self.max_call_depth = max_call_depth
+        self.invalidate_after = invalidate_after
         self.profile = ValueProfile()
         self.opt_backend: ExecutionBackend = resolve_backend(
             opt_backend, step_limit=step_limit
@@ -176,7 +219,23 @@ class AdaptiveRuntime:
                 f"base tier requires a profiling backend, got "
                 f"{self.base_backend.name!r}"
             )
+        for backend in (self.opt_backend, self.base_backend):
+            # A module-bearing backend resolves callees internally,
+            # bypassing the per-function dispatchers this runtime relies
+            # on for independent tiering and the call-depth fuel — reject
+            # it rather than silently losing both guarantees.
+            if getattr(backend, "module", None) is not None:
+                raise ValueError(
+                    "runtime backends must not carry a module; register "
+                    "functions with register_module() so calls dispatch "
+                    "through the runtime"
+                )
         self.functions: Dict[str, TieredFunction] = {}
+        #: Host dispatchers for every registered function: the hook that
+        #: routes residual ``call`` instructions (in any tier, on any
+        #: engine) back through :meth:`call`.
+        self._dispatchers: Dict[str, NativeFunction] = {}
+        self._depth = 0
         #: Log of (function, kind, point) transition events, for tests/examples.
         self.events: List[Tuple[str, str, ProgramPoint]] = []
 
@@ -186,29 +245,64 @@ class AdaptiveRuntime:
     def register(self, function: Function) -> TieredFunction:
         state = TieredFunction(base=function)
         self.functions[function.name] = state
+        dispatcher = self._make_dispatcher(function.name)
+        self._dispatchers[function.name] = dispatcher
+        self.opt_backend.register_native(function.name, dispatcher)
+        if self.base_backend is not self.opt_backend:
+            self.base_backend.register_native(function.name, dispatcher)
         return state
+
+    def register_module(self, module: Module) -> List[TieredFunction]:
+        """Register every function of a module for independent tiering."""
+        return [self.register(function) for function in module]
+
+    def _make_dispatcher(self, name: str) -> NativeFunction:
+        def dispatch(args: List[int], memory: Memory) -> int:
+            result = self.call(name, args, memory=memory)
+            return result.value if result.value is not None else 0
+
+        return dispatch
+
+    def _resolve_base(self, name: str) -> Optional[Function]:
+        state = self.functions.get(name)
+        return state.base if state is not None else None
 
     def _compile(self, state: TieredFunction) -> None:
         """Build the optimized tier, speculatively when safely possible."""
         if self.speculate:
-            pipeline = speculative_pipeline(
-                self.profile.function(state.base.name),
-                min_samples=self.min_samples,
-                min_ratio=self.min_ratio,
-            )
+            caller_profile = self.profile.function(state.base.name)
+            if self.inline:
+                merged = caller_profile.clone()
+                pipeline = interprocedural_pipeline(
+                    caller_profile,
+                    merged,
+                    resolve=self._resolve_base,
+                    callee_profile=self.profile.function,
+                    min_samples=self.min_samples,
+                    min_ratio=self.min_ratio,
+                    min_site_calls=self.inline_min_calls,
+                    max_callee_size=self.max_callee_size,
+                    max_inline_depth=self.max_inline_depth,
+                    exclude=state.refuted_reasons,
+                )
+            else:
+                pipeline = speculative_pipeline(
+                    caller_profile,
+                    min_samples=self.min_samples,
+                    min_ratio=self.min_ratio,
+                    exclude=state.refuted_reasons,
+                )
             pair = OSRTransDriver(pipeline).run(state.base)
-            backward, uncovered = pair.guarded_backward_mapping(self.mode)
+            plans, uncovered = pair.deopt_plans(self.mode)
             if not uncovered:
                 state.pair = pair
-                state.backward_mapping = backward
+                state.deopt_plans = plans
                 state.speculative = bool(pair.guard_points())
                 state.forward_mapping = pair.forward_mapping(self.mode)
-                state.deopt_keep_alive = frozenset().union(
-                    *(
-                        backward[point].compensation.keep_alive
-                        for point in pair.guard_points()
-                    )
-                ) if pair.guard_points() else frozenset()
+                keep_alive: FrozenSet[str] = frozenset()
+                for plan in plans.values():
+                    keep_alive |= plan.keep_alive()
+                state.deopt_keep_alive = keep_alive
                 return
             # Some guard cannot deoptimize: discard the speculative build.
             self.events.append(
@@ -218,7 +312,8 @@ class AdaptiveRuntime:
         state.pair = OSRTransDriver(pipeline).run(state.base)
         state.speculative = False
         state.forward_mapping = state.pair.forward_mapping(self.mode)
-        state.backward_mapping = state.pair.backward_mapping(self.mode)
+        plans, _ = state.pair.deopt_plans(self.mode)
+        state.deopt_plans = plans
 
     def _first_mapped_loop_point(self, state: TieredFunction) -> Optional[ProgramPoint]:
         """A mapped OSR entry point inside a loop body of f_base, if any.
@@ -260,7 +355,30 @@ class AdaptiveRuntime:
         *,
         memory: Optional[Memory] = None,
     ) -> ExecutionResult:
-        """Call a registered function, applying the tiering policy."""
+        """Call a registered function, applying the tiering policy.
+
+        Nested calls (from either engine) re-enter here through the
+        per-function dispatchers, so the depth accounting below is the
+        *backend-independent* recursion fuel of the whole module.
+        """
+        self._depth += 1
+        if self._depth > self.max_call_depth:
+            self._depth -= 1
+            raise StepLimitExceeded(
+                f"call depth exceeded the budget of {self.max_call_depth} "
+                f"activations (at @{name})"
+            )
+        try:
+            return self._call_tiered(name, args, memory)
+        finally:
+            self._depth -= 1
+
+    def _call_tiered(
+        self,
+        name: str,
+        args: Sequence[int],
+        memory: Optional[Memory],
+    ) -> ExecutionResult:
         state = self.functions[name]
         state.call_count += 1
 
@@ -286,10 +404,28 @@ class AdaptiveRuntime:
         memory: Optional[Memory],
     ) -> ExecutionResult:
         assert state.pair is not None
+        # Capture the version this activation runs: with recursion, an
+        # inner activation's guard failure may invalidate and replace the
+        # installed version while this one is still on the stack — its
+        # own failure must resolve against the plans of the version that
+        # actually raised it.
+        pair, plans = state.pair, state.deopt_plans
         try:
-            return self.opt_backend.run(state.pair.optimized, args, memory=memory)
+            return self.opt_backend.run(pair.optimized, args, memory=memory)
         except GuardFailure as failure:
-            return self._handle_guard_failure(state, failure)
+            return self._handle_guard_failure(state, failure, pair, plans)
+
+    def _break_interpreter(self) -> Interpreter:
+        """An interpreter whose calls dispatch through the runtime.
+
+        Used for the pause-at-a-point paths (``break_at``), which only
+        the interpreter supports; module callees still tier normally.
+        """
+        return Interpreter(
+            step_limit=self.step_limit,
+            natives=self._dispatchers,
+            profiler=self.profile,
+        )
 
     def _call_with_osr(
         self,
@@ -299,7 +435,7 @@ class AdaptiveRuntime:
         osr_point: ProgramPoint,
     ) -> ExecutionResult:
         assert state.pair is not None and state.forward_mapping is not None
-        interpreter = Interpreter(step_limit=self.step_limit, profiler=self.profile)
+        interpreter = self._break_interpreter()
         paused = interpreter.run(state.base, args, memory=memory, break_at=osr_point)
         if paused.stopped_at is None:
             return paused  # the loop never ran; nothing to transfer
@@ -342,19 +478,20 @@ class AdaptiveRuntime:
 
         state.osr_entries += 1
         self.events.append((state.base.name, "optimizing-osr", osr_point))
+        pair, plans = state.pair, state.deopt_plans
         try:
             # The backend's OSR entry stub maps the landing ProgramPoint
             # into its own dispatch (a resume for the interpreter, a
             # compiled stub entering mid-loop for the closure backend).
             return self.opt_backend.run_from(
-                state.pair.optimized,
+                pair.optimized,
                 entry.target,
                 landing_env,
                 memory=paused.memory,
                 previous_block=paused.previous_block,
             )
         except GuardFailure as failure:
-            return self._handle_guard_failure(state, failure)
+            return self._handle_guard_failure(state, failure, pair, plans)
 
     def _speculation_holds(
         self,
@@ -378,7 +515,10 @@ class AdaptiveRuntime:
         point to a speculated use re-executes the definition and the
         guard first, which protects itself.  A dominating guard whose
         condition cannot be evaluated rejects the entry: correctness
-        over speed.
+        over speed.  Guards inside inlined code read renamed callee
+        registers that no f_base state ever holds, so a dominating
+        inlined guard always rejects the mid-flight entry — fresh calls
+        still run the inlined version from its entry.
         """
         assert state.pair is not None
         from ..cfg.dominance import DominatorTree
@@ -403,22 +543,67 @@ class AdaptiveRuntime:
         return True
 
     # ------------------------------------------------------------------ #
-    # Guard failure: deoptimizing OSR + dispatched continuations.
+    # Guard failure: multi-frame deopt + dispatched continuations.
     # ------------------------------------------------------------------ #
+    def _record_failure(self, state: TieredFunction, failure: GuardFailure) -> None:
+        """Refute a speculation that keeps failing and schedule a recompile.
+
+        A *multi-frame* guard that fails ``invalidate_after`` times was
+        built from an unrepresentative profile (typically a callee that
+        tiered up before its histograms converged), and unlike
+        single-frame failures it has no cached-continuation fast path —
+        every failure pays a full stack reconstruction.  Its reason is
+        blacklisted and the optimized version is discarded; the next
+        call recompiles without that assumption.  (Single-frame repeat
+        failures are served by the Deoptless dispatch cache instead and
+        never invalidate.)
+
+        Known limitation: reasons embed the inliner's frame tags, and a
+        recompile in which the *set* of hot sites grew can renumber the
+        tags, so a refuted reason may fail to match once and cost one
+        extra refute/recompile round before the matching string is
+        recorded — a transient performance hiccup, never unsoundness.
+        """
+        count = state.failures_at.get(failure.point, 0) + 1
+        state.failures_at[failure.point] = count
+        if count < self.invalidate_after or failure.reason is None:
+            return
+        state.refuted_reasons.add(failure.reason)
+        state.invalidations += 1
+        self.events.append((state.base.name, "invalidated", failure.point))
+        state.pair = None
+        state.forward_mapping = None
+        state.backward_mapping = None
+        state.deopt_plans = {}
+        state.deopt_keep_alive = frozenset()
+        state.speculative = False
+        state.failures_at = {}
+        state.continuations = {}
+
     def _handle_guard_failure(
         self,
         state: TieredFunction,
         failure: GuardFailure,
+        pair: VersionPair,
+        plans: Dict[ProgramPoint, DeoptPlan],
     ) -> ExecutionResult:
-        assert state.backward_mapping is not None
         state.guard_failures += 1
-        entry = state.backward_mapping.lookup(failure.point)
-        if entry is None:  # pragma: no cover - _compile guarantees coverage
+        plan = plans.get(failure.point)
+        if plan is None:  # pragma: no cover - _compile guarantees coverage
             raise RuntimeError(
-                f"guard at {failure.point} fired with no deoptimization mapping"
+                f"guard at {failure.point} fired with no deoptimization plan"
             )
-        landing_env = state.backward_mapping.transfer(failure.point, failure.env)
+        if plan.is_multiframe:
+            return self._unwind_multiframe(state, failure, plan)
+
+        frame = plan.frames[0]
+        landing_env = frame.transfer(failure.env)
         key: ContinuationKey = (failure.point, frozenset(landing_env))
+        previous_block = (
+            failure.previous_block
+            if failure.previous_block in state.base.blocks
+            else None
+        )
 
         cached = state.continuations.get(key)
         if cached is not None:
@@ -444,32 +629,94 @@ class AdaptiveRuntime:
         self.events.append((state.base.name, "deoptimizing-osr", failure.point))
         result = self.base_backend.run_from(
             state.base,
-            entry.target,
+            frame.target,
             landing_env,
             memory=failure.memory,
-            previous_block=failure.previous_block,
+            previous_block=previous_block,
+            profiler=self.profile,
         )
         # Pay the continuation build off the critical path of *this*
-        # failure; the next failure with the same shape dispatches.
-        state.continuations[key] = CachedContinuation(
-            self._build_continuation(state, failure.point, key)
+        # failure; the next failure with the same shape dispatches.  Skip
+        # the cache when the installed version is no longer the one that
+        # failed (an inner activation invalidated it): a continuation
+        # specialized against a stale version must not serve a new one.
+        # Plans with value seeds are also excluded: a seeded variable is
+        # rebuilt only by the plan's transfer, which the baked-in
+        # continuation entry cannot reproduce — those guards always take
+        # the slow path.
+        if state.pair is pair and not frame.param_seeds:
+            state.continuations[key] = CachedContinuation(
+                self._build_continuation(state, failure.point, plan, pair)
+            )
+        return result
+
+    def _unwind_multiframe(
+        self,
+        state: TieredFunction,
+        failure: GuardFailure,
+        plan: DeoptPlan,
+    ) -> ExecutionResult:
+        """Materialize and resume the reconstructed virtual call stack.
+
+        Every frame's environment is rebuilt from the *same* failure
+        snapshot first (outer frames must not observe state mutated by
+        resuming inner ones), then the stack unwinds innermost-to-
+        outermost in the base tier: each frame runs to completion and its
+        return value is bound into the enclosing frame's call
+        destination before that frame resumes past its call site.
+        """
+        state.osr_exits += 1
+        state.multiframe_deopts += 1
+        self.events.append((state.base.name, "multiframe-deopt", failure.point))
+        self._record_failure(state, failure)
+        environments = [frame.transfer(failure.env) for frame in plan.frames]
+        failure.frames = [
+            FrameState(
+                function=frame.function.name,
+                point=frame.target,
+                env=dict(env),
+                dest=frame.dest,
+            )
+            for frame, env in zip(plan.frames, environments)
+        ]
+        inner = plan.frames[0]
+        result = self.base_backend.run_from(
+            inner.function,
+            inner.target,
+            environments[0],
+            memory=failure.memory,
+            previous_block=inner.translate_block(failure.previous_block),
+            profiler=self.profile,
         )
+        value = result.value
+        for frame, env in zip(plan.frames[1:], environments[1:]):
+            if frame.dest is not None:
+                env[frame.dest] = value if value is not None else 0
+            result = self.base_backend.run_from(
+                frame.function,
+                frame.target,
+                env,
+                memory=failure.memory,
+                previous_block=None,
+                profiler=self.profile,
+            )
+            value = result.value
         return result
 
     def _build_continuation(
         self,
         state: TieredFunction,
         point: ProgramPoint,
-        key: ContinuationKey,
+        plan: DeoptPlan,
+        pair: VersionPair,
     ) -> ContinuationInfo:
         """Specialize an f_base continuation for one guard's deopt target."""
-        assert state.backward_mapping is not None
-        entry = state.backward_mapping[point]
-        live_at_source = sorted(state.backward_mapping.source_view.live_in(point))
+        frame = plan.frames[0]
+        live_at_source = sorted(pair.opt_view.live_in(point))
         info = make_continuation(
             state.base,
-            entry.target,
-            entry.compensation,
+            frame.target,
+            frame.compensation,
             live_at_source,
             name=f"{state.base.name}.deopt.{point.block}.{point.index}",
         )
@@ -482,6 +729,23 @@ class AdaptiveRuntime:
     # ------------------------------------------------------------------ #
     # Forced deoptimization (external invalidation).
     # ------------------------------------------------------------------ #
+    def deopt_mapping(self, name: str) -> OSRMapping:
+        """The full point-by-point deoptimization mapping of a function.
+
+        Guard failures are served by per-guard plans, so this mapping is
+        only needed by the external-invalidation path
+        (:meth:`deoptimize_at`) and by clients inspecting deoptimizable
+        points — it is built lazily on first use (compiling the function
+        first if necessary).
+        """
+        state = self.functions[name]
+        if not state.is_compiled:
+            self._compile(state)
+        assert state.pair is not None
+        if state.backward_mapping is None:
+            state.backward_mapping = state.pair.backward_mapping(self.mode)
+        return state.backward_mapping
+
     def deoptimize_at(
         self,
         name: str,
@@ -498,10 +762,9 @@ class AdaptiveRuntime:
         entry — deoptimization is simply not supported there.
         """
         state = self.functions[name]
-        if not state.is_compiled:
-            self._compile(state)
-        assert state.pair is not None and state.backward_mapping is not None
-        entry = state.backward_mapping.lookup(point)
+        mapping = self.deopt_mapping(name)
+        assert state.pair is not None
+        entry = mapping.lookup(point)
         if entry is None:
             raise KeyError(f"deoptimization not supported at {point}")
         try:
@@ -509,16 +772,18 @@ class AdaptiveRuntime:
             # the interpreter provides: a forced external invalidation is
             # an observation-heavy path, so it runs observably regardless
             # of the optimized tier's backend.
-            paused = Interpreter(step_limit=self.step_limit).run(
-                state.pair.optimized, args, memory=memory, break_at=point
-            )
+            paused = Interpreter(
+                step_limit=self.step_limit, natives=self._dispatchers
+            ).run(state.pair.optimized, args, memory=memory, break_at=point)
         except GuardFailure as failure:
             # A speculation failed before reaching the requested point;
             # the guard's own deoptimization wins.
-            return self._handle_guard_failure(state, failure)
+            return self._handle_guard_failure(
+                state, failure, state.pair, state.deopt_plans
+            )
         if paused.stopped_at is None:
             return paused
-        landing_env = state.backward_mapping.transfer(point, paused.env)
+        landing_env = mapping.transfer(point, paused.env)
         state.osr_exits += 1
         self.events.append((name, "deoptimizing-osr", point))
         return self.base_backend.run_from(
@@ -536,9 +801,12 @@ class AdaptiveRuntime:
             "compiled": int(state.is_compiled),
             "speculative": int(state.speculative),
             "guards": len(state.pair.guard_points()) if state.pair else 0,
+            "inlined_frames": state.inlined_frames,
             "osr_entries": state.osr_entries,
             "osr_exits": state.osr_exits,
             "guard_failures": state.guard_failures,
+            "multiframe_deopts": state.multiframe_deopts,
+            "invalidations": state.invalidations,
             "dispatch_hits": state.dispatch_hits,
             "dispatch_misses": state.dispatch_misses,
             "continuations": len(state.continuations),

@@ -3,6 +3,9 @@
 from .programs import (
     BENCHMARK_NAMES,
     BENCHMARK_SOURCES,
+    CALL_KERNEL_ENTRIES,
+    CALL_KERNEL_NAMES,
+    CALL_KERNEL_SOURCES,
     LOOP_KERNEL_NAMES,
     STRAIGHT_LINE_NAMES,
     STRAIGHT_LINE_SOURCES,
@@ -10,6 +13,8 @@ from .programs import (
     benchmark_function,
     benchmark_functions,
     benchmark_source,
+    call_kernel_arguments,
+    call_kernel_module,
     straightline_arguments,
     straightline_function,
 )
@@ -31,6 +36,11 @@ __all__ = [
     "speculative_arguments",
     "BENCHMARK_NAMES",
     "BENCHMARK_SOURCES",
+    "CALL_KERNEL_NAMES",
+    "CALL_KERNEL_SOURCES",
+    "CALL_KERNEL_ENTRIES",
+    "call_kernel_module",
+    "call_kernel_arguments",
     "LOOP_KERNEL_NAMES",
     "STRAIGHT_LINE_NAMES",
     "STRAIGHT_LINE_SOURCES",

@@ -22,8 +22,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from ..frontend import compile_function
-from ..ir.function import Function
+from ..frontend import compile_function, compile_program
+from ..ir.function import Function, Module
 from ..ir.interp import Memory
 
 __all__ = [
@@ -32,12 +32,17 @@ __all__ = [
     "LOOP_KERNEL_NAMES",
     "STRAIGHT_LINE_NAMES",
     "STRAIGHT_LINE_SOURCES",
+    "CALL_KERNEL_NAMES",
+    "CALL_KERNEL_SOURCES",
+    "CALL_KERNEL_ENTRIES",
     "benchmark_source",
     "benchmark_function",
     "benchmark_functions",
     "benchmark_arguments",
     "straightline_function",
     "straightline_arguments",
+    "call_kernel_module",
+    "call_kernel_arguments",
 ]
 
 #: The benchmarks of Table 2, in the paper's order.
@@ -407,6 +412,139 @@ func blend8(px) {
 }
 
 STRAIGHT_LINE_NAMES: Tuple[str, ...] = tuple(STRAIGHT_LINE_SOURCES)
+
+
+#: Call-heavy kernels for the interprocedural tier: every one spends its
+#: time crossing function boundaries, which the speculative inliner
+#: erases.  Each kernel is a *module* (entry function plus callees) so
+#: the module-level adaptive runtime can tier every function and route
+#: residual calls through itself.
+CALL_KERNEL_SOURCES: Dict[str, str] = {
+    # A hot loop calling one tiny helper per element — the classic
+    # "small-helper" shape where call overhead dominates the work.
+    "helper_loop": """
+func weigh(v, scale) {
+  var w = v * scale + 7;
+  if (w < 0) { w = 0 - w; }
+  return w;
+}
+func helper_loop(p, n, scale) {
+  var acc = 0;
+  var i = 0;
+  while (i < n) {
+    acc = acc + weigh(p[i], scale);
+    i = i + 1;
+  }
+  return acc;
+}
+""",
+    # Two chained helpers per iteration (nested call expressions), so
+    # inlining must splice one body into another's continuation.
+    "chain": """
+func mix(a, b) {
+  return (a ^ b) + (a & b) * 2;
+}
+func clamp8(v) {
+  if (v > 255) { return 255; }
+  if (v < 0) { return 0; }
+  return v;
+}
+func chain(p, n) {
+  var acc = 0;
+  var i = 0;
+  while (i < n) {
+    acc = acc + clamp8(mix(p[i], acc));
+    i = i + 1;
+  }
+  return acc;
+}
+""",
+    # Self-recursive fib: inlining peels recursion levels, cutting the
+    # number of runtime dispatches per call tree.
+    "fib": """
+func fib(n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+""",
+    # A clamping helper whose saturation branch is cold while warm: the
+    # speculative tier turns the branch *inside the inlined body* into a
+    # guard, and a violating outlier element fires it mid-loop — the
+    # canonical multi-frame deoptimization scenario.
+    "clamp_call": """
+func clampv(v, limit) {
+  if (v > limit) { return limit; }
+  return v;
+}
+func clamp_call(p, n, limit) {
+  var acc = 0;
+  var i = 0;
+  while (i < n) {
+    acc = acc + clampv(p[i], limit);
+    i = i + 1;
+  }
+  return acc;
+}
+""",
+}
+
+#: Entry function of each call kernel's module.
+CALL_KERNEL_ENTRIES: Dict[str, str] = {
+    "helper_loop": "helper_loop",
+    "chain": "chain",
+    "fib": "fib",
+    "clamp_call": "clamp_call",
+}
+
+CALL_KERNEL_NAMES: Tuple[str, ...] = tuple(CALL_KERNEL_SOURCES)
+
+
+def call_kernel_module(name: str) -> Module:
+    """A fresh f_base module (SSA, debug info) for one call-heavy kernel."""
+    try:
+        source = CALL_KERNEL_SOURCES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown call kernel {name!r}; choose from {CALL_KERNEL_NAMES}"
+        ) from None
+    return compile_program(source, module_name=name)
+
+
+def call_kernel_arguments(
+    name: str, *, size: int = 24, seed: int = 9, violate: bool = False
+) -> Tuple[List[int], Memory]:
+    """Executable arguments (and memory) for one call-heavy kernel.
+
+    ``violate=True`` produces inputs that break a fact the speculative
+    interprocedural tier assumes after warming on the default regime
+    (meaningful for ``clamp_call``, whose violation fires a guard inside
+    the inlined callee body; the other kernels ignore the flag).
+    """
+    import random
+
+    rng = random.Random(seed + len(name))
+    memory = Memory()
+
+    def array(values: Sequence[int]) -> int:
+        base = memory.allocate(len(values))
+        memory.write_array(base, list(values))
+        return base
+
+    if name == "helper_loop":
+        values = [rng.randint(-40, 40) for _ in range(size)]
+        return [array(values), size, 3], memory
+    if name == "chain":
+        values = [rng.randint(0, 300) for _ in range(size)]
+        return [array(values), size], memory
+    if name == "fib":
+        return [12], memory
+    if name == "clamp_call":
+        limit = 100
+        values = [rng.randint(0, limit - 1) for _ in range(size)]
+        if violate:
+            values[size // 2] = limit + 41  # one outlier saturates mid-loop
+        return [array(values), size, limit], memory
+    raise KeyError(f"unknown call kernel {name!r}")
 
 
 def benchmark_source(name: str) -> str:

@@ -13,10 +13,18 @@ from __future__ import annotations
 import pytest
 
 from repro.core import OSRTransDriver
-from repro.core.bisimulation import check_guarded_deopt, check_ir_osr_transition
+from repro.core.bisimulation import (
+    check_guarded_deopt,
+    check_ir_osr_transition,
+    check_multiframe_deopt,
+)
 from repro.ir import Interpreter
 from repro.ir.interp import GuardFailure
-from repro.passes import speculative_pipeline, standard_pipeline
+from repro.passes import (
+    interprocedural_pipeline,
+    speculative_pipeline,
+    standard_pipeline,
+)
 from repro.vm import (
     AdaptiveRuntime,
     CompiledBackend,
@@ -26,10 +34,14 @@ from repro.vm import (
 )
 from repro.workloads import (
     BENCHMARK_NAMES,
+    CALL_KERNEL_ENTRIES,
+    CALL_KERNEL_NAMES,
     SPECULATIVE_NAMES,
     STRAIGHT_LINE_NAMES,
     benchmark_arguments,
     benchmark_function,
+    call_kernel_arguments,
+    call_kernel_module,
     speculative_arguments,
     speculative_function,
     straightline_arguments,
@@ -212,3 +224,125 @@ def test_resolve_backend_respects_env(monkeypatch):
     monkeypatch.setenv("REPRO_BACKEND", "no-such-engine")
     with pytest.raises(ValueError):
         resolve_backend(None)
+
+
+# ---------------------------------------------------------------------- #
+# Interprocedural parity: inlined code, multi-frame deopt, virtual stacks.
+# ---------------------------------------------------------------------- #
+
+
+def _interprocedural_pair(name, warm_runs=6):
+    module = call_kernel_module(name)
+    entry = CALL_KERNEL_ENTRIES[name]
+    profile = ValueProfile()
+    interp = Interpreter(module, profiler=profile)
+    for _ in range(warm_runs):
+        args, memory = call_kernel_arguments(name)
+        interp.run(module.get(entry), args, memory=memory)
+    caller_profile = profile.function(entry)
+    pipeline = interprocedural_pipeline(
+        caller_profile,
+        caller_profile.clone(),
+        resolve=lambda callee: module.get(callee) if callee in module else None,
+        callee_profile=profile.function,
+        min_samples=2,
+        min_site_calls=2,
+    )
+    pair = OSRTransDriver(pipeline).run(module.get(entry))
+    return module, pair
+
+
+@pytest.mark.parametrize("name", CALL_KERNEL_NAMES)
+def test_backends_agree_on_inlined_versions(name):
+    module, pair = _interprocedural_pair(name)
+    interp = InterpreterBackend(module=module)
+    compiled = CompiledBackend(module=module)
+    args, memory = call_kernel_arguments(name)
+    reference = interp.run(pair.optimized, args, memory=memory.copy())
+    actual = compiled.run(pair.optimized, args, memory=memory.copy())
+    assert actual.value == reference.value
+    assert actual.env == reference.env
+
+
+def test_inlined_guard_failures_are_identical_across_backends():
+    module, pair = _interprocedural_pair("clamp_call")
+    plans, uncovered = pair.deopt_plans()
+    assert not uncovered
+    interp = InterpreterBackend(module=module)
+    compiled = CompiledBackend(module=module)
+
+    args, memory = call_kernel_arguments("clamp_call", violate=True)
+    failures = []
+    for backend in (interp, compiled):
+        with pytest.raises(GuardFailure) as excinfo:
+            backend.run(pair.optimized, args, memory=memory.copy())
+        failures.append(excinfo.value)
+
+    interp_failure, compiled_failure = failures
+    assert compiled_failure.point == interp_failure.point
+    assert compiled_failure.previous_block == interp_failure.previous_block
+    assert compiled_failure.reason == interp_failure.reason
+    # Both engines attach the same virtual call stack...
+    assert compiled_failure.inline_path == interp_failure.inline_path
+    assert compiled_failure.inline_path == plans[interp_failure.point].inline_path()
+    # ...and the same raw live state, so every reconstructed frame's
+    # environment is identical no matter which engine failed.
+    assert compiled_failure.env == interp_failure.env
+    plan = plans[interp_failure.point]
+    assert plan.is_multiframe
+    for frame in plan.frames:
+        assert frame.transfer(compiled_failure.env) == frame.transfer(
+            interp_failure.env
+        )
+
+
+@pytest.mark.parametrize("backend_name", ("interp", "compiled"))
+def test_multiframe_deopt_bisimulation_per_backend(backend_name):
+    module, pair = _interprocedural_pair("clamp_call")
+    plans, uncovered = pair.deopt_plans()
+    assert not uncovered
+    backend = (
+        InterpreterBackend(module=module)
+        if backend_name == "interp"
+        else CompiledBackend(module=module)
+    )
+    args, memory = call_kernel_arguments("clamp_call", violate=True)
+    assert check_multiframe_deopt(
+        pair.base,
+        pair.optimized,
+        plans,
+        args,
+        module=module,
+        memory=memory,
+        backend=backend,
+    )
+
+
+@pytest.mark.parametrize("name", CALL_KERNEL_NAMES)
+def test_runtime_parity_across_opt_backends_interprocedural(name):
+    """Same values, same tiering decisions, same multi-frame deopts."""
+    results = {}
+    for backend_name in ("interp", "compiled"):
+        module = call_kernel_module(name)
+        entry = CALL_KERNEL_ENTRIES[name]
+        rt = AdaptiveRuntime(
+            hotness_threshold=3,
+            min_samples=2,
+            inline_min_calls=2,
+            opt_backend=backend_name,
+        )
+        rt.register_module(module)
+        values = []
+        for _ in range(6):
+            args, memory = call_kernel_arguments(name)
+            values.append(rt.call(entry, args, memory=memory).value)
+        for _ in range(3):
+            args, memory = call_kernel_arguments(name, violate=True)
+            values.append(rt.call(entry, args, memory=memory).value)
+        results[backend_name] = (values, rt.stats(entry), [e[1] for e in rt.events])
+
+    interp_values, interp_stats, interp_events = results["interp"]
+    compiled_values, compiled_stats, compiled_events = results["compiled"]
+    assert compiled_values == interp_values
+    assert compiled_stats == interp_stats
+    assert compiled_events == interp_events

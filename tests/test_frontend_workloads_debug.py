@@ -162,9 +162,9 @@ class TestAdaptiveRuntime:
         args, mem = benchmark_arguments("soplex")
         expected = run_function(f, args, memory=mem.copy()).value
         runtime.call("soplex", args, memory=mem.copy())
-        state = runtime.functions["soplex"]
-        assert state.backward_mapping is not None and len(state.backward_mapping) > 0
-        point = state.backward_mapping.domain()[0]
+        mapping = runtime.deopt_mapping("soplex")
+        assert len(mapping) > 0
+        point = mapping.domain()[0]
         result = runtime.deoptimize_at("soplex", point, args, memory=mem.copy())
         assert result.value == expected
         assert runtime.stats("soplex")["osr_exits"] == 1

@@ -1,0 +1,179 @@
+"""Printer/parser round-trip over the whole module grammar.
+
+``parse_module(print_module(m))`` must be the identity up to uids: the
+textual form is the IR's serialization format, and any asymmetry
+(printable but unparseable, or parsed into a different instruction)
+silently corrupts saved modules.  The ``call`` forms get particular
+attention — omitted destination, zero arguments, intrinsic callees — as
+do destination registers that happen to be named like keywords, which
+keyword-first dispatch used to swallow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import Interpreter, parse_function, parse_module, print_module
+from repro.ir.expr import BinOp, Const, UnOp, Undef, Var
+from repro.ir.function import Function, Module
+from repro.ir.instructions import (
+    Abort,
+    Alloca,
+    Assign,
+    Branch,
+    Call,
+    Guard,
+    Jump,
+    Load,
+    Nop,
+    Phi,
+    Return,
+    Store,
+)
+from repro.ir.printer import print_function
+
+
+def roundtrip(module: Module) -> Module:
+    text = print_module(module)
+    reparsed = parse_module(text)
+    assert print_module(reparsed) == text, "text must be a fixed point"
+    return reparsed
+
+
+def build_full_grammar_module() -> Module:
+    """One module exercising every instruction and operator form."""
+    module = Module("grammar")
+
+    ops = Function("ops", ["a", "b"])
+    entry = ops.add_block("entry")
+    binary_ops = (
+        "add", "sub", "mul", "div", "rem", "and", "or", "xor",
+        "shl", "shr", "eq", "ne", "lt", "le", "gt", "ge", "min", "max",
+    )
+    for index, op in enumerate(binary_ops):
+        entry.append(Assign(f"x{index}", BinOp(op, Var("a"), Var("b"))))
+    entry.append(Assign("u1", UnOp("neg", Var("a"))))
+    entry.append(Assign("u2", UnOp("not", Var("a"))))
+    entry.append(Assign("u3", UnOp("abs", Var("a"))))
+    entry.append(Assign("u4", Undef()))
+    entry.append(Assign("%t1", Const(-7)))
+    entry.append(Abort())
+    module.add(ops)
+
+    main = Function("main", ["a", "b"])
+    entry = main.add_block("entry")
+    entry.append(Assign("x", BinOp("add", Var("a"), Const(1))))
+    entry.append(Alloca("buf", 4))
+    entry.append(Load("v", BinOp("add", Var("buf"), Const(1))))
+    entry.append(Store(Var("buf"), Var("v")))
+    entry.append(Call(None, "effect", []))                      # no dest, no args
+    entry.append(Call("r0", "effect", []))                      # dest, no args
+    entry.append(Call(None, "effect", [Var("x"), Const(-2)]))   # no dest, args
+    entry.append(Call("r1", "gcd", [Var("x"), Const(18)]))      # intrinsic callee
+    entry.append(Call("r2", "clamp", [Var("r1"), Const(0), Const(9)]))
+    entry.append(Guard(BinOp("eq", Var("x"), Const(3))))
+    entry.append(Nop())
+    entry.append(Jump("head"))
+    head = main.add_block("head")
+    head.append(Phi("p", {"entry": Var("x"), "head": Var("p2")}))
+    head.append(Assign("p2", BinOp("add", Var("p"), Const(1))))
+    head.append(Branch(BinOp("lt", Var("p2"), Const(10)), "head", "done"))
+    done = main.add_block("done")
+    done.append(Phi("out", {"head": Var("p2")}))
+    done.append(Return(Var("out")))
+    module.add(main)
+
+    bare = Function("effect", [])
+    bare.add_block("entry").append(Return(None))  # bare `ret`
+    module.add(bare)
+
+    return module
+
+
+class TestModuleGrammarRoundTrip:
+    def test_full_grammar_text_is_a_fixed_point(self):
+        roundtrip(build_full_grammar_module())
+
+    def test_roundtrip_preserves_instruction_shapes(self):
+        module = build_full_grammar_module()
+        reparsed = roundtrip(module)
+        for function in module:
+            twin = reparsed.get(function.name)
+            assert twin.params == function.params
+            assert twin.block_labels() == function.block_labels()
+            for (point_a, inst_a), (point_b, inst_b) in zip(
+                function.instructions(), twin.instructions()
+            ):
+                assert point_a == point_b
+                assert type(inst_a) is type(inst_b)
+                assert str(inst_a) == str(inst_b)
+
+    def test_roundtrip_preserves_semantics(self):
+        module = build_full_grammar_module()
+        reparsed = roundtrip(module)
+        result = Interpreter(reparsed).run(reparsed.get("main"), [2, 5])
+        reference = Interpreter(module).run(module.get("main"), [2, 5])
+        assert result.value == reference.value == 10
+
+
+class TestCallRoundTrip:
+    @pytest.mark.parametrize(
+        "call",
+        [
+            Call(None, "g", []),
+            Call(None, "g", [Const(0)]),
+            Call("d", "g", []),
+            Call("d", "g", [Var("a"), BinOp("min", Var("a"), Const(3))]),
+            Call("%t1", "a.b.c", [UnOp("abs", Var("a"))]),
+        ],
+        ids=str,
+    )
+    def test_call_forms_roundtrip(self, call):
+        function = Function("f", ["a"])
+        block = function.add_block("entry")
+        block.append(call)
+        block.append(Return(None))
+        text = print_function(function)
+        reparsed = parse_function(text)
+        parsed_call = reparsed.blocks["entry"].instructions[0]
+        assert isinstance(parsed_call, Call)
+        assert parsed_call.dest == call.dest
+        assert parsed_call.callee == call.callee
+        assert str(parsed_call) == str(call)
+
+    def test_keyword_named_destinations_roundtrip(self):
+        # A register may legally be named like a keyword; definition
+        # dispatch must win over keyword dispatch.
+        src = """
+func @f(a) {
+entry:
+  ret = call @g()
+  store = (a + 1)
+  guard = load store
+  jmp = phi.helper
+  ret (ret + store + guard + jmp)
+}
+"""
+        function = parse_function(src)
+        kinds = [type(i).__name__ for i in function.blocks["entry"].instructions]
+        assert kinds == ["Call", "Assign", "Load", "Assign", "Return"]
+        text = print_function(function)
+        assert print_function(parse_function(text)) == text
+
+    def test_zero_arg_omitted_dest_call_in_module_context(self):
+        src = """
+func @main() {
+entry:
+  call @tick()
+  x = call @tick()
+  ret x
+}
+
+func @tick() {
+entry:
+  ret 7
+}
+"""
+        module = parse_module(src)
+        assert print_module(parse_module(print_module(module))) == print_module(module)
+        assert Interpreter(module).run(module.get("main")).value == 7
