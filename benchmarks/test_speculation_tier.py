@@ -12,56 +12,57 @@ violations hit the continuation cache instead of re-deoptimizing.
 
 import pytest
 
+from repro.engine import Engine, EngineConfig
 from repro.ir import run_function
-from repro.vm import AdaptiveRuntime
 from repro.workloads import speculative_arguments, speculative_function
 
 KERNEL = "dispatch"
 
 
 @pytest.fixture(scope="module")
-def warmed_runtime():
+def warmed_engine():
     function = speculative_function(KERNEL)
-    rt = AdaptiveRuntime(hotness_threshold=3, min_samples=2)
-    rt.register(function)
+    engine = Engine.from_functions(
+        function, config=EngineConfig(hotness_threshold=3, min_samples=2)
+    )
     for _ in range(5):
         args, memory = speculative_arguments(KERNEL)
-        rt.call(KERNEL, args, memory=memory)
+        engine.call(KERNEL, args, memory=memory)
     # Prime the continuation cache with one slow deopt.
     args, memory = speculative_arguments(KERNEL, violate=True)
-    rt.call(KERNEL, args, memory=memory)
-    return function, rt
+    engine.call(KERNEL, args, memory=memory)
+    return function, engine
 
 
-def test_speculative_version_prunes_cold_paths(warmed_runtime):
-    function, rt = warmed_runtime
-    state = rt.functions[KERNEL]
+def test_speculative_version_prunes_cold_paths(warmed_engine):
+    function, engine = warmed_engine
+    state = engine.function(KERNEL).state
     assert state.speculative
     assert state.pair.optimized.num_instructions() < function.num_instructions()
     assert len(state.pair.optimized.block_labels()) < len(function.block_labels())
 
 
-def test_warm_speculative_call(benchmark, warmed_runtime):
-    function, rt = warmed_runtime
+def test_warm_speculative_call(benchmark, warmed_engine):
+    function, engine = warmed_engine
     args, memory = speculative_arguments(KERNEL)
     expected = run_function(function, args, memory=memory.copy()).value
-    result = benchmark(lambda: rt.call(KERNEL, args, memory=memory.copy()).value)
+    result = benchmark(lambda: engine.call(KERNEL, args, memory=memory.copy()).value)
     assert result == expected
 
 
-def test_dispatched_osr_on_repeated_guard_failure(benchmark, warmed_runtime):
-    function, rt = warmed_runtime
+def test_dispatched_osr_on_repeated_guard_failure(benchmark, warmed_engine):
+    function, engine = warmed_engine
     args, memory = speculative_arguments(KERNEL, violate=True)
     expected = run_function(function, args, memory=memory.copy()).value
-    before = rt.stats(KERNEL)
-    assert before["continuations"] == 1  # primed by the fixture
+    before = engine.stats(KERNEL)
+    assert before.continuations == 1  # primed by the fixture
 
-    result = benchmark(lambda: rt.call(KERNEL, args, memory=memory.copy()).value)
+    result = benchmark(lambda: engine.call(KERNEL, args, memory=memory.copy()).value)
     assert result == expected
 
-    after = rt.stats(KERNEL)
-    assert after["dispatch_hits"] > before["dispatch_hits"]
+    after = engine.stats(KERNEL)
+    assert after.dispatch_hits > before.dispatch_hits
     # Every benchmarked violation was a cache hit: no new deoptimizing
     # OSR, no new continuation build.
-    assert after["osr_exits"] == before["osr_exits"]
-    assert after["continuations"] == before["continuations"]
+    assert after.osr_exits == before.osr_exits
+    assert after.continuations == before.continuations

@@ -1,51 +1,69 @@
-"""Adaptive optimization: a two-tier VM using OSR for tier-up and deoptimization.
+"""Adaptive optimization: the engine tiers a hot loop up and back down.
 
-This is the scenario OSR was invented for.  The AdaptiveRuntime starts
-every function in the unoptimized tier, counts calls, and when a function
-gets hot it compiles an optimized version with the OSR-aware pipeline and
-transfers the *currently running* loop onto it (an optimizing OSR).  A
-deoptimizing OSR transfers execution back — the mechanism a speculative
-optimizer uses when an assumption is invalidated.
+This is the scenario OSR was invented for.  The engine starts every
+function in the profiled base tier, and the default ``HotnessPolicy``
+compiles a function once it gets hot — transferring the *currently
+running* loop onto the optimized version (an optimizing OSR).  A
+deoptimizing OSR transfers execution back, which is how a speculative
+optimizer abandons an invalidated assumption.
+
+The example also shows the policy seam: swapping ``NeverCompile`` in
+pins the very same workload to the base tier — the mechanism consults
+the policy, embedders choose the policy.
 
 Run with:  python examples/adaptive_jit.py
 """
 
+from repro.engine import Engine, EngineConfig, NeverCompile
 from repro.ir import run_function
-from repro.vm import AdaptiveRuntime
 from repro.workloads import benchmark_arguments, benchmark_function
+
+KERNEL = "perlbench"
 
 
 def main() -> None:
-    runtime = AdaptiveRuntime(hotness_threshold=3)
-    kernel = benchmark_function("perlbench")
-    runtime.register(kernel)
-    args, memory = benchmark_arguments("perlbench", size=48)
-    expected = run_function(kernel, args, memory=memory.copy()).value
+    engine = Engine.from_functions(
+        benchmark_function(KERNEL),
+        config=EngineConfig(hotness_threshold=3),
+    )
+    handle = engine.function(KERNEL)
+    args, memory = benchmark_arguments(KERNEL, size=48)
+    expected = run_function(handle.state.base, args, memory=memory.copy()).value
 
-    print("calling the perlbench kernel repeatedly...")
+    print(f"calling the {KERNEL} kernel repeatedly...")
     for call_index in range(1, 6):
-        result = runtime.call("perlbench", args, memory=memory.copy())
-        stats = runtime.stats("perlbench")
-        tier = "optimized" if stats["compiled"] else "base"
+        result = handle(*args, memory=memory.copy())
+        stats = handle.stats
         print(
-            f"  call {call_index}: result={result.value} tier={tier} "
-            f"(osr entries so far: {stats['osr_entries']})"
+            f"  call {call_index}: result={result} tier={handle.tier} "
+            f"(osr entries so far: {stats.osr_entries})"
         )
-        assert result.value == expected
+        assert result == expected
 
-    print("\ntransition events observed by the runtime:")
-    for function_name, kind, point in runtime.events:
-        print(f"  {function_name}: {kind} at {point}")
+    print("\ntyped transition events observed by the engine:")
+    for event in engine.events:
+        print(f"  {event}")
 
     # Deoptimization: abandon the optimized code mid-flight and finish in
     # the unoptimized tier (e.g. because a speculative guard failed).
-    state = runtime.functions["perlbench"]
-    assert state.backward_mapping is not None
-    deopt_point = state.backward_mapping.domain()[len(state.backward_mapping.domain()) // 2]
-    result = runtime.deoptimize_at("perlbench", deopt_point, args, memory=memory.copy())
+    points = handle.deopt_points()
+    deopt_point = points[len(points) // 2]
+    result = handle.deoptimize_at(deopt_point, args, memory=memory.copy())
     print(f"\ndeoptimizing OSR at {deopt_point}: result={result.value}")
     assert result.value == expected
     print("result preserved across tier-down — speculation can be undone safely.")
+
+    # The policy seam: the same workload, pinned to the base tier.
+    pinned = Engine.from_functions(
+        benchmark_function(KERNEL),
+        config=EngineConfig(hotness_threshold=3),
+        policy=NeverCompile(),
+    )
+    for _ in range(5):
+        assert pinned.call(KERNEL, args, memory=memory.copy()).value == expected
+    assert pinned.function(KERNEL).tier == "base"
+    print("\nwith NeverCompile the same five calls stay in the base tier — "
+          "policies are pluggable, the mechanism is shared.")
 
 
 if __name__ == "__main__":

@@ -1,73 +1,100 @@
-"""Quickstart: make a transformation OSR-aware and hop between versions.
+"""Quickstart: embed the adaptive OSR engine in four lines.
 
-This walks the core API end to end:
+The `Engine` facade runs the whole pipeline — MiniC frontend, lowering,
+mem2reg, registration — in one call, and every function of the program
+tiers independently: profiled interpretation, speculative compilation
+(with hot callees inlined), optimizing OSR into in-flight loops, and
+guard-failure deoptimization that reconstructs the full virtual call
+stack.  Every transition is published as a typed ``RuntimeEvent`` you
+can subscribe to.
 
-1. compile a small MiniC function to its unoptimized SSA form (f_base);
-2. optimize a clone with the OSR-aware pass pipeline, recording primitive
-   actions in a CodeMapper;
-3. build forward (f_base → f_opt) and backward OSR mappings with
-   automatically generated compensation code (Algorithm 1);
-4. actually fire an optimizing OSR in the middle of the loop and check the
-   result matches an uninterrupted run.
+This walks the journey end to end:
+
+1. ``Engine.from_source`` compiles and registers a two-function program;
+2. warm calls profile, then tier the hot caller up (its callee inlined);
+3. an outlier input fails a speculation guard *inside the inlined
+   callee* — a multi-frame deoptimizing OSR, observed live;
+4. ``FunctionHandle.stats`` shows the event-derived statistics.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.core import OSRTransDriver, ReconstructionMode, perform_osr
-from repro.frontend import compile_function
-from repro.ir import print_function, run_function
-from repro.passes import standard_pipeline
+from repro.engine import Engine, EngineConfig
+from repro.ir import Memory
 
 SOURCE = """
-func weighted_sum(n) {
-  var total = 0;
+func clampv(v, limit) {
+  if (v > limit) { return limit; }
+  return v;
+}
+
+func clamped_sum(p, n, limit) {
+  var acc = 0;
   var i = 0;
   while (i < n) {
-    var weight = n * 3 + 1;      // loop-invariant: LICM will hoist it
-    var square = i * i;
-    total = total + square * weight;
+    acc = acc + clampv(p[i], limit);
     i = i + 1;
   }
-  return total;
+  return acc;
 }
 """
 
+N = 24
+LIMIT = 100
+
+
+def fill(values) -> Memory:
+    memory = Memory()
+    for offset, value in enumerate(values):
+        memory.store(offset, value)
+    return memory
+
 
 def main() -> None:
-    # 1. Frontend: MiniC → alloca IR → mem2reg → f_base (SSA + debug info).
-    f_base = compile_function(SOURCE, "weighted_sum")
-    print("=== f_base (unoptimized SSA) ===")
-    print(print_function(f_base))
+    # 1. One call: frontend -> lowering -> mem2reg -> registration.
+    config = EngineConfig(hotness_threshold=3, min_samples=2, inline_min_calls=2)
+    engine = Engine.from_source(SOURCE, config=config)
+    handle = engine.function("clamped_sum")
 
-    # 2. Optimize a clone while tracking the five primitive actions.
-    driver = OSRTransDriver(standard_pipeline())
-    pair = driver.run(f_base)
-    print("\n=== f_opt (OSR-aware optimized clone) ===")
-    print(print_function(pair.optimized))
-    print("\nrecorded primitive actions:", pair.mapper.action_counts())
+    # Observe every tier transition as a typed event, as it happens.
+    engine.subscribe(lambda event: print(f"    event: {event}"))
 
-    # 3. Build OSR mappings with compensation code.
-    forward = pair.forward_mapping(ReconstructionMode.AVAIL)
-    backward = pair.backward_mapping(ReconstructionMode.AVAIL)
-    print(f"\nforward mapping covers {len(forward)} of "
-          f"{len(f_base.program_points())} f_base points")
-    print(f"backward mapping covers {len(backward)} of "
-          f"{len(pair.optimized.program_points())} f_opt points")
-    sample_point = next(
-        p for p in forward.domain() if forward[p].compensation.size > 0
+    # 2. Warm inputs (nothing saturates): profile, tier up, inline clampv.
+    warm = [v % 50 for v in range(N)]
+    oracle = sum(min(v, LIMIT) for v in warm)
+    print(f"warm calls (expect {oracle}):")
+    for index in range(4):
+        result = handle(0, N, LIMIT, memory=fill(warm))
+        assert result == oracle
+        print(f"  call {index + 1}: result={result} tier={handle.tier}")
+
+    stats = handle.stats
+    print(
+        f"\nafter warm-up: speculative={bool(stats.speculative)} "
+        f"guards={stats.guards} inlined_frames={stats.inlined_frames}"
     )
-    entry = forward[sample_point]
-    print(f"example: OSR at {sample_point} lands at {entry.target} "
-          f"with compensation code [{entry.compensation}]")
 
-    # 4. Fire the transition mid-loop and compare against a straight run.
-    expected = run_function(f_base, [50]).value
-    osr_result = perform_osr(
-        f_base, pair.optimized, forward, sample_point, [50], use_continuation=True
+    # 3. An outlier element takes the pruned clamp path: the guard inside
+    #    the *inlined* clampv fails and the runtime materializes both
+    #    frames (callee at the mapped point, caller past its call site).
+    outlier = list(warm)
+    outlier[7] = 10_000  # saturates: clampv must return LIMIT
+    expected = sum(min(v, LIMIT) for v in outlier)
+    print("\noutlier call (guard inside inlined code fails):")
+    result = handle(0, N, LIMIT, memory=fill(outlier))
+    assert result == expected, (result, expected)
+    print(f"  result={result} — correct despite mid-loop deoptimization")
+
+    # 4. Event-derived statistics.
+    stats = handle.stats
+    print(
+        f"\nstats: calls={stats.calls} osr_entries={stats.osr_entries} "
+        f"guard_failures={stats.guard_failures} "
+        f"multiframe_deopts={stats.multiframe_deopts}"
     )
-    print(f"\nstraight run: {expected}; run with mid-loop OSR: {osr_result.value}")
-    assert osr_result.value == expected, "OSR transition changed the result!"
-    print("OSR transition is transparent — results match.")
+    assert stats.multiframe_deopts >= 1
+    print("\nthe transition log is bounded — ring buffer of "
+          f"{config.event_buffer_size} events, {len(engine.events)} retained")
 
 
 if __name__ == "__main__":

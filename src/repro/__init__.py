@@ -40,6 +40,7 @@ __all__ = [
     "frontend",
     "core",
     "vm",
+    "engine",
     "workloads",
     "harness",
 ]

@@ -1,0 +1,78 @@
+"""The public embedding API of the adaptive OSR runtime.
+
+Three pieces replace the historical ``AdaptiveRuntime(**kwargs)``
+surface (*OSR à la Carte*'s "OSR as a composable library" argument,
+with *Deoptless*'s policy knobs made first-class):
+
+* :class:`EngineConfig` — every tuning knob as one frozen, validated
+  value; :meth:`EngineConfig.from_env` subsumes ``REPRO_BACKEND``.
+* :class:`TieringPolicy` — the strategy protocol deciding *when* to
+  compile, where to OSR-enter, whether to cache a continuation and when
+  to invalidate; :class:`HotnessPolicy` is the default,
+  :class:`AlwaysCompile`/:class:`NeverCompile` pin tiers for tests.
+* :class:`Engine` — the facade: :meth:`Engine.from_source` runs
+  frontend → lowering → mem2reg → registration in one call,
+  :meth:`Engine.function` returns a callable :class:`FunctionHandle`,
+  and :meth:`Engine.subscribe` observes every tier transition as a
+  typed :class:`RuntimeEvent`.
+"""
+
+from .config import EngineConfig
+from .events import (
+    ContinuationCached,
+    ContinuationEvicted,
+    ContinuationHit,
+    DeoptimizingOSR,
+    DispatchedOSR,
+    EventBus,
+    GuardFailed,
+    Invalidated,
+    MultiFrameDeopt,
+    OptimizingOSR,
+    OSREntryRejected,
+    RingBufferRecorder,
+    RuntimeEvent,
+    SpeculationRejected,
+    TierUp,
+)
+from .policy import AlwaysCompile, HotnessPolicy, NeverCompile, TieringPolicy
+from .stats import EngineStats, StatsCollector
+
+
+def __getattr__(name):
+    # The facade pulls in repro.vm (which itself loads repro.engine.config
+    # at import time); loading it lazily keeps `import repro.vm` and
+    # `import repro.engine` both cycle-free regardless of order.
+    if name in ("Engine", "FunctionHandle"):
+        from . import facade
+
+        return getattr(facade, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Engine",
+    "FunctionHandle",
+    "EngineConfig",
+    "TieringPolicy",
+    "HotnessPolicy",
+    "AlwaysCompile",
+    "NeverCompile",
+    "EngineStats",
+    "StatsCollector",
+    "RuntimeEvent",
+    "TierUp",
+    "SpeculationRejected",
+    "OptimizingOSR",
+    "OSREntryRejected",
+    "GuardFailed",
+    "DeoptimizingOSR",
+    "DispatchedOSR",
+    "ContinuationHit",
+    "ContinuationCached",
+    "ContinuationEvicted",
+    "MultiFrameDeopt",
+    "Invalidated",
+    "EventBus",
+    "RingBufferRecorder",
+]

@@ -1,0 +1,214 @@
+"""Typed, validated, frozen configuration for the adaptive engine.
+
+Every tuning knob that used to live in ``AdaptiveRuntime.__init__``'s
+kwargs pile is a field of :class:`EngineConfig`: hotness and profile
+thresholds, backends per tier, speculation and inlining toggles with
+their budgets, the backend-independent recursion fuel, and the sizes of
+the two bounded caches (the event ring buffer and the per-function
+continuation cache).  The dataclass is frozen — a config is a value,
+safely shared between engines — and validates itself on construction,
+so a nonsensical knob fails loudly at the embedding site instead of
+deep inside a tier transition.
+
+:meth:`EngineConfig.from_env` subsumes the ``REPRO_BACKEND`` switch: it
+resolves the optimized-tier backend from the environment *eagerly*, so
+an invalid value raises a clear :class:`ValueError` (listing the
+registered backend names) at startup rather than falling through to
+first use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Optional, Tuple, Union
+
+from ..core.reconstruct import ReconstructionMode
+
+__all__ = ["EngineConfig", "LEGACY_KWARG_FIELDS"]
+
+
+#: ``AdaptiveRuntime.__init__`` legacy kwargs and the EngineConfig field
+#: each maps to (the names were kept aligned on purpose, so the mapping
+#: is the identity — the table exists so the shim can reject unknown
+#: kwargs with a helpful message and docs can render the migration).
+LEGACY_KWARG_FIELDS: Dict[str, str] = {
+    "hotness_threshold": "hotness_threshold",
+    "passes": "passes",
+    "step_limit": "step_limit",
+    "mode": "mode",
+    "speculate": "speculate",
+    "min_samples": "min_samples",
+    "min_ratio": "min_ratio",
+    "inline": "inline",
+    "inline_min_calls": "inline_min_calls",
+    "max_callee_size": "max_callee_size",
+    "max_inline_depth": "max_inline_depth",
+    "max_call_depth": "max_call_depth",
+    "invalidate_after": "invalidate_after",
+    "opt_backend": "opt_backend",
+    "base_backend": "base_backend",
+}
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Every knob of the adaptive engine, as one validated value.
+
+    Backends are given by registry name (see
+    :data:`repro.vm.backend.BACKEND_NAMES`) or as an
+    :class:`~repro.vm.backend.ExecutionBackend` instance for tests that
+    inject a custom engine; ``opt_backend=None`` defers to the
+    ``REPRO_BACKEND`` environment variable at engine construction.
+    """
+
+    # --- tiering -------------------------------------------------------- #
+    #: Calls before a function is compiled (consulted by HotnessPolicy).
+    hotness_threshold: int = 3
+    #: Repeated failures at one guard before its assumption is refuted.
+    invalidate_after: int = 2
+
+    # --- speculation ---------------------------------------------------- #
+    speculate: bool = True
+    #: Minimum profile samples before a fact is speculated on.
+    min_samples: int = 4
+    #: Minimum dominance ratio for an assume-constant/branch fact.
+    min_ratio: float = 0.999
+
+    # --- interprocedural inlining --------------------------------------- #
+    inline: bool = True
+    #: Calls a site needs in the caller's profile to be splice-inlined.
+    inline_min_calls: int = 3
+    #: Largest callee body (instructions) the inliner will splice.
+    max_callee_size: int = 80
+    #: Nested-inlining depth budget.
+    max_inline_depth: int = 2
+
+    # --- execution ------------------------------------------------------ #
+    #: Backend-independent recursion fuel (activations per module call).
+    max_call_depth: int = 96
+    #: Per-activation step/block-transfer budget.
+    step_limit: int = 2_000_000
+    #: State-reconstruction mode for OSR mappings and deopt plans.
+    mode: ReconstructionMode = ReconstructionMode.AVAIL
+    #: Engine for optimized versions and continuations (name, instance,
+    #: or None → the REPRO_BACKEND environment variable).
+    opt_backend: Union[str, Any, None] = None
+    #: Engine for the profiled base tier; must support profiling.
+    base_backend: Union[str, Any] = "interp"
+    #: Explicit pass pipeline (disables speculation when set).
+    passes: Optional[Tuple[Any, ...]] = None
+
+    # --- bounded observability ------------------------------------------ #
+    #: Capacity of the event ring buffer (the bounded transition log).
+    event_buffer_size: int = 4096
+    #: Per-function cap on cached dispatched-OSR continuations.
+    continuation_cache_size: int = 32
+
+    def __post_init__(self) -> None:
+        _require(self.hotness_threshold >= 1,
+                 f"hotness_threshold must be >= 1, got {self.hotness_threshold}")
+        _require(self.invalidate_after >= 1,
+                 f"invalidate_after must be >= 1, got {self.invalidate_after}")
+        _require(self.min_samples >= 1,
+                 f"min_samples must be >= 1, got {self.min_samples}")
+        _require(0.0 < self.min_ratio <= 1.0,
+                 f"min_ratio must be in (0, 1], got {self.min_ratio}")
+        _require(self.inline_min_calls >= 1,
+                 f"inline_min_calls must be >= 1, got {self.inline_min_calls}")
+        _require(self.max_callee_size >= 1,
+                 f"max_callee_size must be >= 1, got {self.max_callee_size}")
+        _require(self.max_inline_depth >= 1,
+                 f"max_inline_depth must be >= 1, got {self.max_inline_depth}")
+        _require(self.max_call_depth >= 1,
+                 f"max_call_depth must be >= 1, got {self.max_call_depth}")
+        _require(self.step_limit >= 1,
+                 f"step_limit must be >= 1, got {self.step_limit}")
+        _require(self.event_buffer_size >= 1,
+                 f"event_buffer_size must be >= 1, got {self.event_buffer_size}")
+        _require(self.continuation_cache_size >= 1,
+                 f"continuation_cache_size must be >= 1, "
+                 f"got {self.continuation_cache_size}")
+        _require(isinstance(self.mode, ReconstructionMode),
+                 f"mode must be a ReconstructionMode, got {self.mode!r}")
+        if self.passes is not None and not isinstance(self.passes, tuple):
+            # Accept any sequence at the call site; store a tuple so the
+            # frozen config stays value-like.
+            object.__setattr__(self, "passes", tuple(self.passes))
+        self._validate_backend("opt_backend", self.opt_backend, allow_none=True)
+        self._validate_backend("base_backend", self.base_backend, allow_none=False)
+
+    @staticmethod
+    def _validate_backend(label: str, spec: Any, *, allow_none: bool) -> None:
+        # Deferred import: repro.vm imports this module at load time.
+        from ..vm.backend import BACKEND_NAMES, ExecutionBackend
+
+        if spec is None:
+            _require(allow_none, f"{label} must not be None")
+            return
+        if isinstance(spec, ExecutionBackend):
+            return
+        _require(
+            isinstance(spec, str) and spec in BACKEND_NAMES,
+            f"{label}={spec!r} names no backend; choose from {sorted(BACKEND_NAMES)}",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers.
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_env(cls, **overrides: Any) -> "EngineConfig":
+        """A config whose optimized-tier backend comes from ``REPRO_BACKEND``.
+
+        The environment variable is read (and validated) *now*: an
+        invalid value raises a :class:`ValueError` naming the registered
+        backends instead of surfacing at first use.  Keyword overrides
+        win over the environment.
+        """
+        from ..vm.backend import backend_name_from_env
+
+        if "opt_backend" not in overrides:
+            overrides["opt_backend"] = backend_name_from_env()
+        return cls(**overrides)
+
+    @classmethod
+    def from_legacy_kwargs(cls, **kwargs: Any) -> "EngineConfig":
+        """Translate ``AdaptiveRuntime``'s historical kwargs to a config.
+
+        Used by the deprecation shim only.  The historical default of
+        ``base_backend=None`` meant "the interpreter"; the typed config
+        spells that out.
+        """
+        unknown = sorted(set(kwargs) - set(LEGACY_KWARG_FIELDS))
+        if unknown:
+            raise TypeError(
+                f"unknown AdaptiveRuntime argument(s) {unknown}; "
+                f"known: {sorted(LEGACY_KWARG_FIELDS)}"
+            )
+        translated = {LEGACY_KWARG_FIELDS[key]: value for key, value in kwargs.items()}
+        if translated.get("base_backend") is None:
+            translated.pop("base_backend", None)
+        if translated.get("passes") is not None:
+            translated["passes"] = tuple(translated["passes"])
+        return cls(**translated)
+
+    def replace(self, **changes: Any) -> "EngineConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    # Derived, not stored: an explicit pipeline overrides speculation,
+    # and inlining only exists inside the speculative tier.
+    @property
+    def effective_speculate(self) -> bool:
+        return self.speculate and self.passes is None
+
+    @property
+    def effective_inline(self) -> bool:
+        return self.inline and self.effective_speculate

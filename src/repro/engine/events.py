@@ -1,0 +1,252 @@
+"""Structured runtime events: a typed hierarchy, a bus, and a bounded log.
+
+The adaptive runtime used to narrate its life as an unbounded list of
+``(function, kind, point)`` tuples.  This module replaces that with
+
+* a :class:`RuntimeEvent` dataclass hierarchy — one class per tier
+  transition, each carrying the structured facts a client actually
+  wants (the guard reason, the continuation hit count, the number of
+  reconstructed frames, ...);
+
+* an :class:`EventBus` with subscriber registration — embedders observe
+  transitions as they happen instead of polling a log; and
+
+* a :class:`RingBufferRecorder` — a *bounded* event log (default
+  capacity 4096) so long-running workloads no longer grow memory
+  without bound.  Evictions are counted, never silent.
+
+The bus is deliberately cheap when idle: steady-state warm calls emit
+no events at all, and publishing is one recorder append plus one call
+per subscriber.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Deque, Iterator, List, Optional, Tuple
+
+from ..ir.function import ProgramPoint
+
+__all__ = [
+    "RuntimeEvent",
+    "TierUp",
+    "SpeculationRejected",
+    "OptimizingOSR",
+    "OSREntryRejected",
+    "GuardFailed",
+    "DeoptimizingOSR",
+    "DispatchedOSR",
+    "ContinuationHit",
+    "ContinuationCached",
+    "ContinuationEvicted",
+    "MultiFrameDeopt",
+    "Invalidated",
+    "EventBus",
+    "RingBufferRecorder",
+    "Subscriber",
+]
+
+
+@dataclass(frozen=True)
+class RuntimeEvent:
+    """Base class of every tier-transition event.
+
+    ``function`` is the registered function the transition concerns and
+    ``point`` the program point it happened at (``None`` for whole-
+    function transitions such as a tier-up).  ``kind`` is a stable
+    machine-readable tag, also used by :meth:`as_tuple` to render the
+    legacy ``(function, kind, point)`` shape.
+    """
+
+    function: str
+    point: Optional[ProgramPoint] = None
+
+    kind: ClassVar[str] = "event"
+
+    def as_tuple(self) -> Tuple[str, str, Optional[ProgramPoint]]:
+        """The legacy tuple rendering kept for the compatibility shim."""
+        return (self.function, self.kind, self.point)
+
+
+@dataclass(frozen=True)
+class TierUp(RuntimeEvent):
+    """A function crossed the compile threshold and installed a version."""
+
+    speculative: bool = False
+    guards: int = 0
+    inlined_frames: int = 0
+
+    kind: ClassVar[str] = "tier-up"
+
+
+@dataclass(frozen=True)
+class SpeculationRejected(RuntimeEvent):
+    """A speculative build was discarded: some guard had no deopt plan."""
+
+    kind: ClassVar[str] = "speculation-rejected"
+
+
+@dataclass(frozen=True)
+class OptimizingOSR(RuntimeEvent):
+    """An in-flight base-tier activation transferred into optimized code."""
+
+    kind: ClassVar[str] = "optimizing-osr"
+
+
+@dataclass(frozen=True)
+class OSREntryRejected(RuntimeEvent):
+    """A mid-flight entry was refused (a dominating guard would not hold)."""
+
+    kind: ClassVar[str] = "osr-entry-rejected"
+
+
+@dataclass(frozen=True)
+class GuardFailed(RuntimeEvent):
+    """A speculation guard fired in optimized code."""
+
+    reason: Optional[str] = None
+    multiframe: bool = False
+
+    kind: ClassVar[str] = "guard-failed"
+
+
+@dataclass(frozen=True)
+class DeoptimizingOSR(RuntimeEvent):
+    """Execution transferred back to f_base through a deopt mapping.
+
+    ``from_guard`` distinguishes a guard-failure deopt (the dispatched-
+    continuation miss path) from an external :meth:`deoptimize_at`
+    invalidation.
+    """
+
+    from_guard: bool = True
+
+    kind: ClassVar[str] = "deoptimizing-osr"
+
+
+@dataclass(frozen=True)
+class DispatchedOSR(RuntimeEvent):
+    """A repeated guard failure jumped straight to a cached continuation."""
+
+    hits: int = 0
+
+    kind: ClassVar[str] = "dispatched-osr"
+
+
+#: A dispatched OSR *is* a continuation-cache hit; both names are public.
+ContinuationHit = DispatchedOSR
+
+
+@dataclass(frozen=True)
+class ContinuationCached(RuntimeEvent):
+    """A specialized deopt continuation was built and cached."""
+
+    kind: ClassVar[str] = "continuation-cached"
+
+
+@dataclass(frozen=True)
+class ContinuationEvicted(RuntimeEvent):
+    """The bounded continuation cache evicted its oldest entry."""
+
+    kind: ClassVar[str] = "continuation-evicted"
+
+
+@dataclass(frozen=True)
+class MultiFrameDeopt(RuntimeEvent):
+    """A guard inside inlined code materialized a virtual call stack."""
+
+    frames: int = 0
+
+    kind: ClassVar[str] = "multiframe-deopt"
+
+
+@dataclass(frozen=True)
+class Invalidated(RuntimeEvent):
+    """Repeated failures refuted a speculation; the version was discarded."""
+
+    reason: Optional[str] = None
+
+    kind: ClassVar[str] = "invalidated"
+
+
+Subscriber = Callable[[RuntimeEvent], None]
+
+
+class RingBufferRecorder:
+    """A bounded, iteration-ordered event log.
+
+    Holds the most recent ``capacity`` events; older ones are evicted
+    (and counted in :attr:`dropped`) rather than growing without bound.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"recorder capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: Deque[RuntimeEvent] = deque(maxlen=capacity)
+        #: Total events ever recorded (including evicted ones).
+        self.total = 0
+
+    @property
+    def dropped(self) -> int:
+        """How many events have been evicted to stay within capacity."""
+        return self.total - len(self._events)
+
+    def record(self, event: RuntimeEvent) -> None:
+        self.total += 1
+        self._events.append(event)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.total = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[RuntimeEvent]:
+        return iter(self._events)
+
+    def events(self) -> List[RuntimeEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+
+class EventBus:
+    """Publish/subscribe hub for :class:`RuntimeEvent` streams.
+
+    Every published event is first appended to the (optional, bounded)
+    recorder, then handed to each subscriber in registration order.
+    Subscribers are plain callables; :meth:`subscribe` returns an
+    unsubscribe closure so scoped observation needs no bookkeeping.
+    """
+
+    def __init__(self, recorder: Optional[RingBufferRecorder] = None) -> None:
+        self.recorder = recorder
+        self._subscribers: List[Subscriber] = []
+
+    def subscribe(self, subscriber: Subscriber) -> Callable[[], None]:
+        self._subscribers.append(subscriber)
+
+        def unsubscribe() -> None:
+            if subscriber in self._subscribers:
+                self._subscribers.remove(subscriber)
+
+        return unsubscribe
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    def publish(self, event: RuntimeEvent) -> None:
+        if self.recorder is not None:
+            self.recorder.record(event)
+        # Snapshot: a subscriber may unsubscribe (itself or another) from
+        # inside its callback; mutating the live list mid-iteration would
+        # silently skip the next subscriber for this event.
+        for subscriber in tuple(self._subscribers):
+            subscriber(event)
+
+    def events(self) -> List[RuntimeEvent]:
+        """The recorder's retained events (empty without a recorder)."""
+        return self.recorder.events() if self.recorder is not None else []

@@ -1,0 +1,235 @@
+"""The `Engine` facade: one object from source text to tiered execution.
+
+Embedders used to hand-stitch frontend → lowering → mem2reg →
+``register_module`` and then poke at ``AdaptiveRuntime`` internals.
+:class:`Engine` packages that whole flow:
+
+    from repro.engine import Engine, EngineConfig
+
+    engine = Engine.from_source(SOURCE)          # parse, lower, register
+    fib = engine.function("fib")                 # a callable handle
+    for _ in range(5):
+        fib(20)                                  # warm → tier-up
+    print(fib.tier, fib.stats.osr_entries)
+
+    unsubscribe = engine.subscribe(print)        # typed RuntimeEvents
+
+An :class:`Engine` owns the event bus (with its bounded ring-buffer
+recorder), a :class:`~repro.engine.stats.StatsCollector` reducing the
+event stream into per-function :class:`~repro.engine.stats.EngineStats`,
+and the :class:`~repro.vm.runtime.AdaptiveRuntime` mechanism configured
+by a frozen :class:`~repro.engine.config.EngineConfig` and steered by a
+pluggable :class:`~repro.engine.policy.TieringPolicy`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..frontend import compile_program
+from ..ir.function import Function, Module, ProgramPoint
+from ..ir.interp import ExecutionResult, Memory
+from ..vm.profile import FunctionProfile
+from ..vm.runtime import AdaptiveRuntime, TieredFunction
+from .config import EngineConfig
+from .events import EventBus, RingBufferRecorder, RuntimeEvent, Subscriber
+from .policy import TieringPolicy
+from .stats import EngineStats, StatsCollector
+
+__all__ = ["Engine", "FunctionHandle"]
+
+
+class FunctionHandle:
+    """A callable view of one registered function.
+
+    Calling the handle runs the function through the engine's tiering
+    (``handle(3, 4)`` returns the result value); :meth:`call` returns
+    the full :class:`~repro.ir.interp.ExecutionResult` when the caller
+    needs the final environment or the shared memory.  The properties
+    expose the function's current tier, its value/branch/call-site
+    profile, and its event-derived statistics.
+    """
+
+    def __init__(self, engine: "Engine", name: str) -> None:
+        self._engine = engine
+        self.name = name
+
+    def __call__(self, *args: int, memory: Optional[Memory] = None) -> Optional[int]:
+        return self.call(args, memory=memory).value
+
+    def call(
+        self, args: Sequence[int] = (), *, memory: Optional[Memory] = None
+    ) -> ExecutionResult:
+        return self._engine.call(self.name, args, memory=memory)
+
+    @property
+    def state(self) -> TieredFunction:
+        """The runtime's mechanism-level per-function state."""
+        return self._engine.runtime.functions[self.name]
+
+    @property
+    def tier(self) -> str:
+        """``"base"`` or ``"optimized"`` (the installed-version tier)."""
+        return "optimized" if self.state.is_compiled else "base"
+
+    @property
+    def speculative(self) -> bool:
+        return self.state.speculative
+
+    @property
+    def profile(self) -> FunctionProfile:
+        """The base tier's value/branch/call-site profile."""
+        return self._engine.runtime.profile.function(self.name)
+
+    @property
+    def stats(self) -> EngineStats:
+        return self._engine.stats(self.name)
+
+    def deopt_points(self) -> List[ProgramPoint]:
+        """The optimized-code points supporting forced deoptimization.
+
+        Compiles the function first if necessary; any returned point is a
+        valid argument to :meth:`deoptimize_at`.
+        """
+        return [
+            point
+            for point in self._engine.runtime.deopt_mapping(self.name).domain()
+            if isinstance(point, ProgramPoint)
+        ]
+
+    def deoptimize_at(
+        self,
+        point: ProgramPoint,
+        args: Sequence[int],
+        *,
+        memory: Optional[Memory] = None,
+    ) -> ExecutionResult:
+        """Force an external deoptimizing OSR at ``point`` (see runtime)."""
+        return self._engine.runtime.deoptimize_at(
+            self.name, point, args, memory=memory
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FunctionHandle({self.name!r}, tier={self.tier!r})"
+
+
+class Engine:
+    """The embedding facade over the adaptive runtime."""
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        *,
+        policy: Optional[TieringPolicy] = None,
+    ) -> None:
+        self.config = config if config is not None else EngineConfig()
+        self.bus = EventBus(RingBufferRecorder(self.config.event_buffer_size))
+        self._collector = StatsCollector()
+        self.bus.subscribe(self._collector)
+        self.runtime = AdaptiveRuntime(self.config, policy=policy, bus=self.bus)
+        self._handles: Dict[str, FunctionHandle] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction.
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        *,
+        config: Optional[EngineConfig] = None,
+        policy: Optional[TieringPolicy] = None,
+        module_name: str = "minic",
+    ) -> "Engine":
+        """Frontend → lowering → mem2reg → registration, in one call.
+
+        ``source`` is a MiniC program (one or more ``func`` definitions);
+        every function is registered for independent tiering.
+        """
+        module = compile_program(source, module_name=module_name)
+        return cls.from_module(module, config=config, policy=policy)
+
+    @classmethod
+    def from_module(
+        cls,
+        module: Module,
+        *,
+        config: Optional[EngineConfig] = None,
+        policy: Optional[TieringPolicy] = None,
+    ) -> "Engine":
+        engine = cls(config, policy=policy)
+        engine.register_module(module)
+        return engine
+
+    @classmethod
+    def from_functions(
+        cls,
+        *functions: Function,
+        config: Optional[EngineConfig] = None,
+        policy: Optional[TieringPolicy] = None,
+    ) -> "Engine":
+        engine = cls(config, policy=policy)
+        for function in functions:
+            engine.register(function)
+        return engine
+
+    # ------------------------------------------------------------------ #
+    # Registration and lookup.
+    # ------------------------------------------------------------------ #
+    def register(self, function: Function) -> FunctionHandle:
+        self.runtime.register(function)
+        return self.function(function.name)
+
+    def register_module(self, module: Module) -> List[FunctionHandle]:
+        self.runtime.register_module(module)
+        return [self.function(function.name) for function in module]
+
+    def function(self, name: str) -> FunctionHandle:
+        if name not in self.runtime.functions:
+            raise KeyError(f"no function @{name} is registered with this engine")
+        handle = self._handles.get(name)
+        if handle is None:
+            handle = self._handles[name] = FunctionHandle(self, name)
+        return handle
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.runtime.functions
+
+    def function_names(self) -> List[str]:
+        return list(self.runtime.functions)
+
+    # ------------------------------------------------------------------ #
+    # Execution and observation.
+    # ------------------------------------------------------------------ #
+    def call(
+        self,
+        name: str,
+        args: Sequence[int] = (),
+        *,
+        memory: Optional[Memory] = None,
+    ) -> ExecutionResult:
+        return self.runtime.call(name, args, memory=memory)
+
+    def subscribe(self, subscriber: Subscriber) -> Callable[[], None]:
+        """Observe every :class:`RuntimeEvent`; returns an unsubscriber."""
+        return self.bus.subscribe(subscriber)
+
+    @property
+    def events(self) -> List[RuntimeEvent]:
+        """Typed events retained by the bounded ring-buffer recorder."""
+        return self.bus.events()
+
+    def stats(self, name: str) -> EngineStats:
+        """Event-derived stats for ``name`` (+ the live call-count gauge).
+
+        Warm calls deliberately publish no event, so ``calls`` is read
+        from the mechanism; every transition counter is the event fold.
+        """
+        from dataclasses import replace
+
+        state = self.runtime.functions[name]
+        return replace(self._collector.function(name), calls=state.call_count)
+
+    def stats_dict(self, name: str) -> Dict[str, int]:
+        """The legacy ``AdaptiveRuntime.stats()`` dict, from EngineStats."""
+        return self.stats(name).as_dict()

@@ -1,0 +1,134 @@
+"""Engine statistics derived from the event stream.
+
+The legacy runtime answered ``stats()`` from hand-maintained counters.
+With the structured event bus in place, the transition counters are a
+*fold* over the events instead: :class:`StatsCollector` subscribes to
+the bus and reduces every :class:`~repro.engine.events.RuntimeEvent`
+into a per-function :class:`EngineStats`.  Because the collector sees
+events as they are published, its numbers are exact even when the
+bounded ring buffer has evicted old events.
+
+A few fields are gauges of the current mechanism state rather than
+event counts — ``calls`` (warm calls deliberately emit no event) and
+the installed-version facts (``compiled``/``speculative``/``guards``/
+``inlined_frames``, seeded by ``TierUp`` and cleared by
+``Invalidated``).  :meth:`Engine.stats` fills ``calls`` in at query
+time; everything else is pure reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from .events import (
+    ContinuationCached,
+    ContinuationEvicted,
+    DeoptimizingOSR,
+    DispatchedOSR,
+    GuardFailed,
+    Invalidated,
+    MultiFrameDeopt,
+    OptimizingOSR,
+    RuntimeEvent,
+    TierUp,
+)
+
+__all__ = ["EngineStats", "StatsCollector"]
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Per-function tiering statistics (the typed successor of ``stats()``)."""
+
+    calls: int = 0
+    compiled: int = 0
+    speculative: int = 0
+    guards: int = 0
+    inlined_frames: int = 0
+    osr_entries: int = 0
+    osr_exits: int = 0
+    guard_failures: int = 0
+    multiframe_deopts: int = 0
+    invalidations: int = 0
+    dispatch_hits: int = 0
+    dispatch_misses: int = 0
+    continuations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The legacy ``AdaptiveRuntime.stats()`` dict shape."""
+        return {
+            "calls": self.calls,
+            "compiled": self.compiled,
+            "speculative": self.speculative,
+            "guards": self.guards,
+            "inlined_frames": self.inlined_frames,
+            "osr_entries": self.osr_entries,
+            "osr_exits": self.osr_exits,
+            "guard_failures": self.guard_failures,
+            "multiframe_deopts": self.multiframe_deopts,
+            "invalidations": self.invalidations,
+            "dispatch_hits": self.dispatch_hits,
+            "dispatch_misses": self.dispatch_misses,
+            "continuations": self.continuations,
+        }
+
+
+class StatsCollector:
+    """A bus subscriber folding events into per-function `EngineStats`."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, EngineStats] = {}
+
+    def function(self, name: str) -> EngineStats:
+        """The reduced stats for ``name`` (zeros if never observed)."""
+        return self._stats.get(name, EngineStats())
+
+    def functions(self) -> Dict[str, EngineStats]:
+        return dict(self._stats)
+
+    def __call__(self, event: RuntimeEvent) -> None:
+        stats = self._stats.get(event.function, EngineStats())
+        if isinstance(event, TierUp):
+            stats = replace(
+                stats,
+                compiled=1,
+                speculative=int(event.speculative),
+                guards=event.guards,
+                inlined_frames=event.inlined_frames,
+            )
+        elif isinstance(event, OptimizingOSR):
+            stats = replace(stats, osr_entries=stats.osr_entries + 1)
+        elif isinstance(event, GuardFailed):
+            stats = replace(stats, guard_failures=stats.guard_failures + 1)
+        elif isinstance(event, MultiFrameDeopt):
+            stats = replace(
+                stats,
+                osr_exits=stats.osr_exits + 1,
+                multiframe_deopts=stats.multiframe_deopts + 1,
+            )
+        elif isinstance(event, DeoptimizingOSR):
+            stats = replace(
+                stats,
+                osr_exits=stats.osr_exits + 1,
+                dispatch_misses=stats.dispatch_misses + int(event.from_guard),
+            )
+        elif isinstance(event, DispatchedOSR):
+            stats = replace(stats, dispatch_hits=stats.dispatch_hits + 1)
+        elif isinstance(event, ContinuationCached):
+            stats = replace(stats, continuations=stats.continuations + 1)
+        elif isinstance(event, ContinuationEvicted):
+            stats = replace(stats, continuations=stats.continuations - 1)
+        elif isinstance(event, Invalidated):
+            # The installed version is gone: version gauges reset, and the
+            # continuation cache was flushed with it.
+            stats = replace(
+                stats,
+                invalidations=stats.invalidations + 1,
+                compiled=0,
+                speculative=0,
+                guards=0,
+                inlined_frames=0,
+                continuations=0,
+            )
+        self._stats[event.function] = stats

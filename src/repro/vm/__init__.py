@@ -1,4 +1,12 @@
-"""Adaptive multi-tier runtime built on the OSR framework."""
+"""Adaptive multi-tier runtime built on the OSR framework.
+
+This package is the *mechanism* layer: execution backends, the closure
+compiler, value profiles, and the :class:`AdaptiveRuntime` tiering
+machinery.  Embedders should use the :mod:`repro.engine` facade, which
+wires a typed :class:`~repro.engine.EngineConfig`, a pluggable
+:class:`~repro.engine.TieringPolicy` and the structured event bus
+around this runtime.
+"""
 
 from .backend import (
     BACKEND_ENV_VAR,

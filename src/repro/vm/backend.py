@@ -282,14 +282,21 @@ _FACTORIES: Dict[str, Callable[..., ExecutionBackend]] = {
 
 
 def backend_name_from_env(default: str = "compiled") -> str:
-    """The backend name selected by ``REPRO_BACKEND`` (or ``default``)."""
+    """The backend name selected by ``REPRO_BACKEND`` (or ``default``).
+
+    An invalid value raises immediately, naming the registered backends
+    — it must never fall through to some silent default.
+    :meth:`repro.engine.EngineConfig.from_env` calls this eagerly so a
+    typo in ``REPRO_BACKEND`` fails at engine construction, not at the
+    first tier-up.
+    """
     name = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
     if not name:
         return default
-    if name not in _FACTORIES:
+    if name not in BACKEND_NAMES:
         raise ValueError(
             f"{BACKEND_ENV_VAR}={name!r} names no backend; "
-            f"choose from {sorted(_FACTORIES)}"
+            f"choose from {sorted(BACKEND_NAMES)}"
         )
     return name
 
@@ -312,5 +319,7 @@ def resolve_backend(
         spec = backend_name_from_env(default)
     factory = _FACTORIES.get(spec)
     if factory is None:
-        raise ValueError(f"unknown backend {spec!r}; choose from {sorted(_FACTORIES)}")
+        raise ValueError(
+            f"unknown backend {spec!r}; choose from {sorted(BACKEND_NAMES)}"
+        )
     return factory(step_limit=step_limit)

@@ -53,6 +53,7 @@ test end-to-end transitions, not to be fast.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -60,7 +61,24 @@ from ..core.frames import DeoptPlan, FrameState
 from ..core.mapping import OSRMapping
 from ..core.osr_trans import OSRTransDriver, VersionPair
 from ..core.osrkit import ContinuationInfo, make_continuation
-from ..core.reconstruct import ReconstructionMode
+from ..engine.config import EngineConfig
+from ..engine.events import (
+    ContinuationCached,
+    ContinuationEvicted,
+    DeoptimizingOSR,
+    DispatchedOSR,
+    EventBus,
+    GuardFailed,
+    Invalidated,
+    MultiFrameDeopt,
+    OptimizingOSR,
+    OSREntryRejected,
+    RingBufferRecorder,
+    RuntimeEvent,
+    SpeculationRejected,
+    TierUp,
+)
+from ..engine.policy import HotnessPolicy, TieringPolicy
 from ..ir.expr import evaluate, free_vars
 from ..ir.function import Function, Module, ProgramPoint
 from ..ir.instructions import Guard
@@ -158,61 +176,58 @@ class TieredFunction:
 
 
 class AdaptiveRuntime:
-    """An N-tier, module-level runtime with interprocedural speculation.
+    """The tiering *mechanism*: an N-tier, module-level runtime.
 
-    ``opt_backend`` names the engine that executes optimized versions and
-    cached continuations (``"interp"``, ``"compiled"``, an
-    :class:`~repro.vm.backend.ExecutionBackend` instance, or ``None`` to
-    consult the ``REPRO_BACKEND`` environment variable — default
-    ``compiled``).  ``base_backend`` names the engine for the profiled
-    base tier and deopt landings; it must support profiling, so it
-    defaults to (and is validated as) a profiling engine.
+    The runtime executes, compiles, OSR-enters, deoptimizes, unwinds and
+    caches; every *decision* (when to compile, where to enter, whether
+    to cache or invalidate) is delegated to a
+    :class:`~repro.engine.policy.TieringPolicy`, every knob comes from a
+    frozen :class:`~repro.engine.config.EngineConfig`, and every
+    transition is published as a typed
+    :class:`~repro.engine.events.RuntimeEvent` on the event bus.
 
-    ``inline`` enables speculative inlining of hot call sites inside the
-    optimized tier; ``max_call_depth`` is the backend-independent
-    recursion fuel (every inter-function call dispatches through the
-    runtime and counts against it).
+    Prefer embedding through :class:`repro.engine.Engine`, which wires
+    config, policy, bus and stats reduction together.  Constructing the
+    runtime with the historical keyword arguments
+    (``AdaptiveRuntime(hotness_threshold=3, ...)``) still works as a
+    compatibility shim but emits a :class:`DeprecationWarning`.
     """
 
     def __init__(
         self,
+        config: Optional[EngineConfig] = None,
         *,
-        hotness_threshold: int = 3,
-        passes=None,
-        step_limit: int = 2_000_000,
-        mode: ReconstructionMode = ReconstructionMode.AVAIL,
-        speculate: bool = True,
-        min_samples: int = 4,
-        min_ratio: float = 0.999,
-        inline: bool = True,
-        inline_min_calls: int = 3,
-        max_callee_size: int = 80,
-        max_inline_depth: int = 2,
-        max_call_depth: int = 96,
-        invalidate_after: int = 2,
-        opt_backend=None,
-        base_backend=None,
+        policy: Optional[TieringPolicy] = None,
+        bus: Optional[EventBus] = None,
+        **legacy_kwargs,
     ) -> None:
-        self.hotness_threshold = hotness_threshold
-        self.passes = passes  # explicit pipeline overrides speculation
-        self.step_limit = step_limit
-        self.mode = mode
-        self.speculate = speculate and passes is None
-        self.min_samples = min_samples
-        self.min_ratio = min_ratio
-        self.inline = inline and self.speculate
-        self.inline_min_calls = inline_min_calls
-        self.max_callee_size = max_callee_size
-        self.max_inline_depth = max_inline_depth
-        self.max_call_depth = max_call_depth
-        self.invalidate_after = invalidate_after
+        if legacy_kwargs:
+            if config is not None:
+                raise TypeError(
+                    "pass either an EngineConfig or legacy keyword "
+                    "arguments, not both"
+                )
+            warnings.warn(
+                "constructing AdaptiveRuntime from keyword arguments is "
+                "deprecated; build an repro.engine.EngineConfig (or use "
+                "repro.engine.Engine) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = EngineConfig.from_legacy_kwargs(**legacy_kwargs)
+        self.config = config if config is not None else EngineConfig()
+        self.policy: TieringPolicy = policy if policy is not None else HotnessPolicy()
+        self.bus = (
+            bus
+            if bus is not None
+            else EventBus(RingBufferRecorder(self.config.event_buffer_size))
+        )
         self.profile = ValueProfile()
         self.opt_backend: ExecutionBackend = resolve_backend(
-            opt_backend, step_limit=step_limit
+            self.config.opt_backend, step_limit=self.config.step_limit
         )
         self.base_backend: ExecutionBackend = resolve_backend(
-            base_backend if base_backend is not None else "interp",
-            step_limit=step_limit,
+            self.config.base_backend, step_limit=self.config.step_limit
         )
         if not self.base_backend.supports_profiling:
             raise ValueError(
@@ -236,8 +251,35 @@ class AdaptiveRuntime:
         #: engine) back through :meth:`call`.
         self._dispatchers: Dict[str, NativeFunction] = {}
         self._depth = 0
-        #: Log of (function, kind, point) transition events, for tests/examples.
-        self.events: List[Tuple[str, str, ProgramPoint]] = []
+
+    # ------------------------------------------------------------------ #
+    # Config-derived views (an explicit pipeline overrides speculation;
+    # inlining only exists inside the speculative tier).
+    # ------------------------------------------------------------------ #
+    @property
+    def speculate(self) -> bool:
+        return self.config.effective_speculate
+
+    @property
+    def inline(self) -> bool:
+        return self.config.effective_inline
+
+    @property
+    def events(self) -> List[Tuple[str, str, Optional[ProgramPoint]]]:
+        """Recorded events in the legacy ``(function, kind, point)`` shape.
+
+        Kept for the compatibility shim; new code should subscribe to
+        :attr:`bus` or read :meth:`recorded_events` for typed events.
+        Bounded by the ring buffer — this is a window, not full history.
+        """
+        return [event.as_tuple() for event in self.bus.events()]
+
+    def recorded_events(self) -> List[RuntimeEvent]:
+        """The typed events retained by the bounded recorder."""
+        return self.bus.events()
+
+    def _publish(self, event: RuntimeEvent) -> None:
+        self.bus.publish(event)
 
     # ------------------------------------------------------------------ #
     # Registration and compilation.
@@ -269,6 +311,7 @@ class AdaptiveRuntime:
 
     def _compile(self, state: TieredFunction) -> None:
         """Build the optimized tier, speculatively when safely possible."""
+        config = self.config
         if self.speculate:
             caller_profile = self.profile.function(state.base.name)
             if self.inline:
@@ -278,72 +321,85 @@ class AdaptiveRuntime:
                     merged,
                     resolve=self._resolve_base,
                     callee_profile=self.profile.function,
-                    min_samples=self.min_samples,
-                    min_ratio=self.min_ratio,
-                    min_site_calls=self.inline_min_calls,
-                    max_callee_size=self.max_callee_size,
-                    max_inline_depth=self.max_inline_depth,
+                    min_samples=config.min_samples,
+                    min_ratio=config.min_ratio,
+                    min_site_calls=config.inline_min_calls,
+                    max_callee_size=config.max_callee_size,
+                    max_inline_depth=config.max_inline_depth,
                     exclude=state.refuted_reasons,
                 )
             else:
                 pipeline = speculative_pipeline(
                     caller_profile,
-                    min_samples=self.min_samples,
-                    min_ratio=self.min_ratio,
+                    min_samples=config.min_samples,
+                    min_ratio=config.min_ratio,
                     exclude=state.refuted_reasons,
                 )
             pair = OSRTransDriver(pipeline).run(state.base)
-            plans, uncovered = pair.deopt_plans(self.mode)
+            plans, uncovered = pair.deopt_plans(config.mode)
             if not uncovered:
                 state.pair = pair
                 state.deopt_plans = plans
                 state.speculative = bool(pair.guard_points())
-                state.forward_mapping = pair.forward_mapping(self.mode)
+                state.forward_mapping = pair.forward_mapping(config.mode)
                 keep_alive: FrozenSet[str] = frozenset()
                 for plan in plans.values():
                     keep_alive |= plan.keep_alive()
                 state.deopt_keep_alive = keep_alive
+                self._publish_tier_up(state)
                 return
             # Some guard cannot deoptimize: discard the speculative build.
-            self.events.append(
-                (state.base.name, "speculation-rejected", uncovered[0])
+            self._publish(
+                SpeculationRejected(state.base.name, uncovered[0])
             )
-        pipeline = self.passes if self.passes is not None else standard_pipeline()
+        pipeline = (
+            list(config.passes) if config.passes is not None else standard_pipeline()
+        )
         state.pair = OSRTransDriver(pipeline).run(state.base)
         state.speculative = False
-        state.forward_mapping = state.pair.forward_mapping(self.mode)
-        plans, _ = state.pair.deopt_plans(self.mode)
+        state.forward_mapping = state.pair.forward_mapping(config.mode)
+        plans, _ = state.pair.deopt_plans(config.mode)
         state.deopt_plans = plans
+        self._publish_tier_up(state)
 
-    def _first_mapped_loop_point(self, state: TieredFunction) -> Optional[ProgramPoint]:
-        """A mapped OSR entry point inside a loop body of f_base, if any.
+    def _publish_tier_up(self, state: TieredFunction) -> None:
+        assert state.pair is not None
+        self._publish(
+            TierUp(
+                state.base.name,
+                speculative=state.speculative,
+                guards=len(state.pair.guard_points()),
+                inlined_frames=state.inlined_frames,
+            )
+        )
 
-        Optimizing OSR is most valuable when a long-running loop is already
-        in flight; we pick the first mapped point whose block belongs to a
-        natural loop, falling back to any mapped point.
+    def _osr_entry_candidates(
+        self, state: TieredFunction
+    ) -> Tuple[List[ProgramPoint], List[ProgramPoint]]:
+        """Mapped, pause-capable OSR entry points of f_base (+ loop subset).
+
+        Optimizing OSR is most valuable when a long-running loop is
+        already in flight, so the loop subset is computed for the policy
+        to prefer.  Phi points are excluded: a block's leading phi run
+        executes as one parallel step before ``break_at`` checks, so the
+        interpreter can never pause there.
         """
         assert state.forward_mapping is not None and state.pair is not None
         from ..cfg.graph import ControlFlowGraph
         from ..cfg.loops import find_loops
+        from ..ir.instructions import Phi
 
         cfg = ControlFlowGraph(state.base)
         loops = find_loops(cfg)
         loop_blocks = {label for loop in loops for label in loop.body}
-        from ..ir.instructions import Phi
-
-        # Phi points can never pause the interpreter (a block's leading
-        # phi run executes as one parallel step before break_at checks),
-        # so they cannot serve as OSR origins.
         candidates = [
             point
             for point in state.forward_mapping.domain()
             if isinstance(point, ProgramPoint)
             and not isinstance(state.base.instruction_at(point), Phi)
         ]
-        for point in candidates:
-            if point.block in loop_blocks:
-                return point
-        return candidates[0] if candidates else None
+        loop_points = [point for point in candidates if point.block in loop_blocks]
+        return candidates, loop_points
 
     # ------------------------------------------------------------------ #
     # Execution.
@@ -362,10 +418,10 @@ class AdaptiveRuntime:
         *backend-independent* recursion fuel of the whole module.
         """
         self._depth += 1
-        if self._depth > self.max_call_depth:
+        if self._depth > self.config.max_call_depth:
             self._depth -= 1
             raise StepLimitExceeded(
-                f"call depth exceeded the budget of {self.max_call_depth} "
+                f"call depth exceeded the budget of {self.config.max_call_depth} "
                 f"activations (at @{name})"
             )
         try:
@@ -382,12 +438,20 @@ class AdaptiveRuntime:
         state = self.functions[name]
         state.call_count += 1
 
-        # Hot enough and not yet compiled: compile now and OSR into the
-        # optimized code mid-execution of this very call.
-        if not state.is_compiled and state.call_count >= self.hotness_threshold:
+        # Hot enough (per the policy) and not yet compiled: compile now
+        # and OSR into the optimized code mid-execution of this very call.
+        if not state.is_compiled and self.policy.should_compile(state, self.config):
             self._compile(state)
             assert state.pair is not None and state.forward_mapping is not None
-            osr_point = self._first_mapped_loop_point(state)
+            candidates, loop_points = self._osr_entry_candidates(state)
+            osr_point = self.policy.select_osr_point(
+                state, candidates, loop_points, self.config
+            )
+            if osr_point is not None and osr_point not in candidates:
+                raise ValueError(
+                    f"policy selected OSR point {osr_point}, which is not a "
+                    f"mapped pause-capable point of @{name}"
+                )
             if osr_point is not None:
                 return self._call_with_osr(state, args, memory, osr_point)
 
@@ -422,7 +486,7 @@ class AdaptiveRuntime:
         the interpreter supports; module callees still tier normally.
         """
         return Interpreter(
-            step_limit=self.step_limit,
+            step_limit=self.config.step_limit,
             natives=self._dispatchers,
             profiler=self.profile,
         )
@@ -444,7 +508,7 @@ class AdaptiveRuntime:
 
         def finish_in_base() -> ExecutionResult:
             """Reject the OSR entry: complete this call in f_base."""
-            self.events.append((state.base.name, "osr-entry-rejected", osr_point))
+            self._publish(OSREntryRejected(state.base.name, osr_point))
             return interpreter.resume(
                 state.base,
                 paused.stopped_at,
@@ -477,7 +541,7 @@ class AdaptiveRuntime:
             landing_env[name] = paused.env[name]
 
         state.osr_entries += 1
-        self.events.append((state.base.name, "optimizing-osr", osr_point))
+        self._publish(OptimizingOSR(state.base.name, osr_point))
         pair, plans = state.pair, state.deopt_plans
         try:
             # The backend's OSR entry stub maps the landing ProgramPoint
@@ -566,11 +630,15 @@ class AdaptiveRuntime:
         """
         count = state.failures_at.get(failure.point, 0) + 1
         state.failures_at[failure.point] = count
-        if count < self.invalidate_after or failure.reason is None:
+        if failure.reason is None or not self.policy.should_invalidate(
+            state, failure.point, count, self.config
+        ):
             return
         state.refuted_reasons.add(failure.reason)
         state.invalidations += 1
-        self.events.append((state.base.name, "invalidated", failure.point))
+        self._publish(
+            Invalidated(state.base.name, failure.point, reason=failure.reason)
+        )
         state.pair = None
         state.forward_mapping = None
         state.backward_mapping = None
@@ -593,6 +661,14 @@ class AdaptiveRuntime:
             raise RuntimeError(
                 f"guard at {failure.point} fired with no deoptimization plan"
             )
+        self._publish(
+            GuardFailed(
+                state.base.name,
+                failure.point,
+                reason=failure.reason,
+                multiframe=plan.is_multiframe,
+            )
+        )
         if plan.is_multiframe:
             return self._unwind_multiframe(state, failure, plan)
 
@@ -611,7 +687,9 @@ class AdaptiveRuntime:
             # continuation instead of re-deoptimizing through f_base.
             cached.hits += 1
             state.dispatch_hits += 1
-            self.events.append((state.base.name, "dispatched-osr", failure.point))
+            self._publish(
+                DispatchedOSR(state.base.name, failure.point, hits=cached.hits)
+            )
             # Strict lookup: a parameter missing from both environments
             # is a state-transfer bug that must fail loudly, not run the
             # continuation on a fabricated value.
@@ -626,7 +704,9 @@ class AdaptiveRuntime:
         # Slow path: classic deoptimizing OSR back into f_base.
         state.dispatch_misses += 1
         state.osr_exits += 1
-        self.events.append((state.base.name, "deoptimizing-osr", failure.point))
+        self._publish(
+            DeoptimizingOSR(state.base.name, failure.point, from_guard=True)
+        )
         result = self.base_backend.run_from(
             state.base,
             frame.target,
@@ -643,11 +723,25 @@ class AdaptiveRuntime:
         # Plans with value seeds are also excluded: a seeded variable is
         # rebuilt only by the plan's transfer, which the baked-in
         # continuation entry cannot reproduce — those guards always take
-        # the slow path.
-        if state.pair is pair and not frame.param_seeds:
+        # the slow path.  The policy gets the final (non-correctness)
+        # veto, and the cache is bounded: oldest entry out first.
+        if (
+            state.pair is pair
+            and not frame.param_seeds
+            and self.policy.should_cache_continuation(
+                state, failure.point, plan, self.config
+            )
+        ):
             state.continuations[key] = CachedContinuation(
                 self._build_continuation(state, failure.point, plan, pair)
             )
+            self._publish(ContinuationCached(state.base.name, failure.point))
+            while len(state.continuations) > self.config.continuation_cache_size:
+                evicted_key = next(iter(state.continuations))
+                del state.continuations[evicted_key]
+                self._publish(
+                    ContinuationEvicted(state.base.name, evicted_key[0])
+                )
         return result
 
     def _unwind_multiframe(
@@ -667,7 +761,9 @@ class AdaptiveRuntime:
         """
         state.osr_exits += 1
         state.multiframe_deopts += 1
-        self.events.append((state.base.name, "multiframe-deopt", failure.point))
+        self._publish(
+            MultiFrameDeopt(state.base.name, failure.point, frames=len(plan.frames))
+        )
         self._record_failure(state, failure)
         environments = [frame.transfer(failure.env) for frame in plan.frames]
         failure.frames = [
@@ -743,7 +839,7 @@ class AdaptiveRuntime:
             self._compile(state)
         assert state.pair is not None
         if state.backward_mapping is None:
-            state.backward_mapping = state.pair.backward_mapping(self.mode)
+            state.backward_mapping = state.pair.backward_mapping(self.config.mode)
         return state.backward_mapping
 
     def deoptimize_at(
@@ -773,7 +869,7 @@ class AdaptiveRuntime:
             # an observation-heavy path, so it runs observably regardless
             # of the optimized tier's backend.
             paused = Interpreter(
-                step_limit=self.step_limit, natives=self._dispatchers
+                step_limit=self.config.step_limit, natives=self._dispatchers
             ).run(state.pair.optimized, args, memory=memory, break_at=point)
         except GuardFailure as failure:
             # A speculation failed before reaching the requested point;
@@ -785,7 +881,7 @@ class AdaptiveRuntime:
             return paused
         landing_env = mapping.transfer(point, paused.env)
         state.osr_exits += 1
-        self.events.append((name, "deoptimizing-osr", point))
+        self._publish(DeoptimizingOSR(name, point, from_guard=False))
         return self.base_backend.run_from(
             state.base,
             entry.target,
@@ -795,6 +891,15 @@ class AdaptiveRuntime:
         )
 
     def stats(self, name: str) -> Dict[str, int]:
+        """Per-function statistics from the mechanism's own counters.
+
+        Deliberately independent of the event-derived
+        :class:`~repro.engine.stats.EngineStats`: the two are maintained
+        separately and the test suite asserts they agree, which makes
+        the event stream's *completeness* a checked invariant — a
+        transition whose event emission is forgotten (or double-fired)
+        shows up as a stats divergence instead of passing silently.
+        """
         state = self.functions[name]
         return {
             "calls": state.call_count,

@@ -25,8 +25,8 @@ from repro.passes import (
     speculative_pipeline,
     standard_pipeline,
 )
+from repro.engine import Engine, EngineConfig
 from repro.vm import (
-    AdaptiveRuntime,
     CompiledBackend,
     InterpreterBackend,
     ValueProfile,
@@ -191,18 +191,24 @@ def test_runtime_parity_across_opt_backends(name):
     results = {}
     for backend_name in ("interp", "compiled"):
         function = speculative_function(name)
-        rt = AdaptiveRuntime(
-            hotness_threshold=3, min_samples=2, opt_backend=backend_name
+        engine = Engine.from_functions(
+            function,
+            config=EngineConfig(
+                hotness_threshold=3, min_samples=2, opt_backend=backend_name
+            ),
         )
-        rt.register(function)
         values = []
         for _ in range(5):
             args, memory = speculative_arguments(name)
-            values.append(rt.call(name, args, memory=memory).value)
+            values.append(engine.call(name, args, memory=memory).value)
         for _ in range(4):
             args, memory = speculative_arguments(name, violate=True)
-            values.append(rt.call(name, args, memory=memory).value)
-        results[backend_name] = (values, rt.stats(name), [e[1] for e in rt.events])
+            values.append(engine.call(name, args, memory=memory).value)
+        results[backend_name] = (
+            values,
+            engine.stats(name),
+            [event.kind for event in engine.events],
+        )
 
     interp_values, interp_stats, interp_events = results["interp"]
     compiled_values, compiled_stats, compiled_events = results["compiled"]
@@ -325,21 +331,27 @@ def test_runtime_parity_across_opt_backends_interprocedural(name):
     for backend_name in ("interp", "compiled"):
         module = call_kernel_module(name)
         entry = CALL_KERNEL_ENTRIES[name]
-        rt = AdaptiveRuntime(
-            hotness_threshold=3,
-            min_samples=2,
-            inline_min_calls=2,
-            opt_backend=backend_name,
+        engine = Engine.from_module(
+            module,
+            config=EngineConfig(
+                hotness_threshold=3,
+                min_samples=2,
+                inline_min_calls=2,
+                opt_backend=backend_name,
+            ),
         )
-        rt.register_module(module)
         values = []
         for _ in range(6):
             args, memory = call_kernel_arguments(name)
-            values.append(rt.call(entry, args, memory=memory).value)
+            values.append(engine.call(entry, args, memory=memory).value)
         for _ in range(3):
             args, memory = call_kernel_arguments(name, violate=True)
-            values.append(rt.call(entry, args, memory=memory).value)
-        results[backend_name] = (values, rt.stats(entry), [e[1] for e in rt.events])
+            values.append(engine.call(entry, args, memory=memory).value)
+        results[backend_name] = (
+            values,
+            engine.stats(entry),
+            [event.kind for event in engine.events],
+        )
 
     interp_values, interp_stats, interp_events = results["interp"]
     compiled_values, compiled_stats, compiled_events = results["compiled"]

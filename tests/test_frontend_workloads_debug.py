@@ -18,8 +18,8 @@ from repro.harness import (
     table5_keep_sets,
 )
 from repro.ir import run_function, verify_function
+from repro.engine import Engine, EngineConfig
 from repro.passes import standard_pipeline
-from repro.vm import AdaptiveRuntime
 from repro.workloads import (
     BENCHMARK_NAMES,
     benchmark_arguments,
@@ -144,30 +144,29 @@ class TestWorkloads:
 
 class TestAdaptiveRuntime:
     def test_hot_function_is_compiled_and_osr_preserves_result(self):
-        runtime = AdaptiveRuntime(hotness_threshold=2)
+        engine = Engine(EngineConfig(hotness_threshold=2))
         f = benchmark_function("h264ref")
-        runtime.register(f)
+        handle = engine.register(f)
         args, mem = benchmark_arguments("h264ref")
         expected = run_function(f, args, memory=mem.copy()).value
-        results = [runtime.call("h264ref", args, memory=mem.copy()).value for _ in range(4)]
+        results = [handle(*args, memory=mem.copy()) for _ in range(4)]
         assert results == [expected] * 4
-        stats = runtime.stats("h264ref")
-        assert stats["compiled"] == 1
-        assert stats["osr_entries"] >= 1
+        stats = handle.stats
+        assert stats.compiled == 1
+        assert stats.osr_entries >= 1
 
     def test_deoptimization_returns_to_base_tier(self):
-        runtime = AdaptiveRuntime(hotness_threshold=1)
+        engine = Engine(EngineConfig(hotness_threshold=1))
         f = benchmark_function("soplex")
-        runtime.register(f)
+        handle = engine.register(f)
         args, mem = benchmark_arguments("soplex")
         expected = run_function(f, args, memory=mem.copy()).value
-        runtime.call("soplex", args, memory=mem.copy())
-        mapping = runtime.deopt_mapping("soplex")
-        assert len(mapping) > 0
-        point = mapping.domain()[0]
-        result = runtime.deoptimize_at("soplex", point, args, memory=mem.copy())
+        handle.call(args, memory=mem.copy())
+        points = handle.deopt_points()
+        assert points
+        result = handle.deoptimize_at(points[0], args, memory=mem.copy())
         assert result.value == expected
-        assert runtime.stats("soplex")["osr_exits"] == 1
+        assert handle.stats.osr_exits == 1
 
 
 class TestDebuggingStudy:

@@ -28,7 +28,8 @@ from repro.passes import (
     LoopInvariantCodeMotion,
     interprocedural_pipeline,
 )
-from repro.vm import AdaptiveRuntime, CompiledBackend, InterpreterBackend, ValueProfile
+from repro.engine import Engine, EngineConfig
+from repro.vm import CompiledBackend, InterpreterBackend, ValueProfile
 from repro.workloads import (
     CALL_KERNEL_ENTRIES,
     CALL_KERNEL_NAMES,
@@ -284,7 +285,7 @@ class TestDeoptPlans:
 # ---------------------------------------------------------------------- #
 
 
-def make_runtime(backend_name, **overrides):
+def make_engine(backend_name, **overrides):
     settings = dict(
         hotness_threshold=3,
         min_samples=2,
@@ -292,7 +293,7 @@ def make_runtime(backend_name, **overrides):
         opt_backend=backend_name,
     )
     settings.update(overrides)
-    return AdaptiveRuntime(**settings)
+    return Engine(EngineConfig(**settings))
 
 
 class TestAdaptiveRuntime:
@@ -301,7 +302,7 @@ class TestAdaptiveRuntime:
     def test_tiered_results_match_reference(self, name, backend_name):
         module = call_kernel_module(name)
         entry = CALL_KERNEL_ENTRIES[name]
-        runtime = make_runtime(backend_name)
+        runtime = make_engine(backend_name)
         runtime.register_module(module)
         for _ in range(8):
             args, memory = call_kernel_arguments(name)
@@ -311,35 +312,35 @@ class TestAdaptiveRuntime:
                 module.get(entry), args, memory=memory
             )
             assert actual.value == reference.value
-        assert runtime.stats(entry)["compiled"] == 1
+        assert runtime.stats(entry).compiled == 1
 
     @pytest.mark.parametrize("backend_name", BACKENDS)
     def test_hot_sites_inline_in_the_optimized_tier(self, backend_name):
         module = call_kernel_module("helper_loop")
-        runtime = make_runtime(backend_name)
+        runtime = make_engine(backend_name)
         runtime.register_module(module)
         for _ in range(8):
             args, memory = call_kernel_arguments("helper_loop")
             runtime.call("helper_loop", args, memory=memory)
-        assert runtime.stats("helper_loop")["inlined_frames"] >= 1
+        assert runtime.stats("helper_loop").inlined_frames >= 1
 
     @pytest.mark.parametrize("backend_name", BACKENDS)
     def test_callees_tier_independently(self, backend_name):
         module = call_kernel_module("chain")
-        runtime = make_runtime(backend_name, inline=False)
+        runtime = make_engine(backend_name, inline=False)
         runtime.register_module(module)
         for _ in range(6):
             args, memory = call_kernel_arguments("chain")
             runtime.call("chain", args, memory=memory)
         # The helpers were only ever reached through residual dispatch,
         # yet both got hot and compiled on their own.
-        assert runtime.stats("mix")["compiled"] == 1
-        assert runtime.stats("clamp8")["compiled"] == 1
+        assert runtime.stats("mix").compiled == 1
+        assert runtime.stats("clamp8").compiled == 1
 
     @pytest.mark.parametrize("backend_name", BACKENDS)
     def test_multiframe_deopt_resumes_correctly(self, backend_name):
         module = call_kernel_module("clamp_call")
-        runtime = make_runtime(backend_name, invalidate_after=100)
+        runtime = make_engine(backend_name, invalidate_after=100)
         runtime.register_module(module)
         for _ in range(6):
             args, memory = call_kernel_arguments("clamp_call")
@@ -352,15 +353,15 @@ class TestAdaptiveRuntime:
         )
         assert actual.value == reference.value
         stats = runtime.stats("clamp_call")
-        assert stats["multiframe_deopts"] >= 1
+        assert stats.multiframe_deopts >= 1
         assert ("clamp_call", "multiframe-deopt") in {
-            (name, kind) for name, kind, _ in runtime.events
+            (event.function, event.kind) for event in runtime.events
         }
 
     @pytest.mark.parametrize("backend_name", BACKENDS)
     def test_repeated_multiframe_failures_invalidate(self, backend_name):
         module = call_kernel_module("clamp_call")
-        runtime = make_runtime(backend_name, invalidate_after=2)
+        runtime = make_engine(backend_name, invalidate_after=2)
         runtime.register_module(module)
         for _ in range(6):
             args, memory = call_kernel_arguments("clamp_call")
@@ -369,10 +370,10 @@ class TestAdaptiveRuntime:
             args, memory = call_kernel_arguments("clamp_call", violate=True)
             runtime.call("clamp_call", args, memory=memory)
         stats = runtime.stats("clamp_call")
-        assert stats["invalidations"] >= 1
+        assert stats.invalidations >= 1
         # After recompiling without the refuted assumption, violating
         # inputs stop failing guards.
-        failures_before = runtime.stats("clamp_call")["guard_failures"]
+        failures_before = runtime.stats("clamp_call").guard_failures
         for _ in range(3):
             args, memory = call_kernel_arguments("clamp_call", violate=True)
             result = runtime.call("clamp_call", args, memory=memory)
@@ -381,7 +382,7 @@ class TestAdaptiveRuntime:
                 module.get("clamp_call"), args, memory=memory
             )
             assert result.value == reference.value
-        assert runtime.stats("clamp_call")["guard_failures"] == failures_before
+        assert runtime.stats("clamp_call").guard_failures == failures_before
 
 
 class TestRecursionFuel:
@@ -394,7 +395,7 @@ func countdown(n) {
 
     def _exhaust(self, backend_name, depth_budget):
         module = compile_program(self.DEEP_SRC)
-        runtime = make_runtime(backend_name, max_call_depth=depth_budget)
+        runtime = make_engine(backend_name, max_call_depth=depth_budget)
         runtime.register_module(module)
         with pytest.raises(StepLimitExceeded) as excinfo:
             runtime.call("countdown", [100_000])
@@ -409,7 +410,7 @@ func countdown(n) {
 
     def test_runtime_recovers_after_exhaustion(self):
         module = compile_program(self.DEEP_SRC)
-        runtime = make_runtime("compiled", max_call_depth=40)
+        runtime = make_engine("compiled", max_call_depth=40)
         runtime.register_module(module)
         with pytest.raises(StepLimitExceeded):
             runtime.call("countdown", [100_000])
@@ -419,7 +420,7 @@ func countdown(n) {
     def test_shallow_recursion_within_budget_is_exact(self):
         module = compile_program(self.DEEP_SRC)
         for backend_name in BACKENDS:
-            runtime = make_runtime(backend_name, max_call_depth=96)
+            runtime = make_engine(backend_name, max_call_depth=96)
             runtime.register_module(module)
             assert runtime.call("countdown", [30]).value == 0
 

@@ -7,6 +7,7 @@ from repro.core import (
     check_guarded_deopt,
     clone_for_optimization,
 )
+from repro.engine import Engine, EngineConfig
 from repro.ir import (
     GuardFailure,
     Interpreter,
@@ -18,7 +19,7 @@ from repro.ir import (
 )
 from repro.ir.instructions import Branch, Guard, Jump
 from repro.passes import SpeculativeGuards, speculative_pipeline
-from repro.vm import AdaptiveRuntime, ValueProfile
+from repro.vm import ValueProfile
 from repro.workloads import (
     SPECULATIVE_NAMES,
     speculative_arguments,
@@ -209,105 +210,107 @@ class TestGuardedDeoptBisimulation:
         assert check_guarded_deopt(function, pair.optimized, mapping, args, memory=memory)
 
 
+def _speculation_engine(function, **overrides):
+    config = EngineConfig(**{"hotness_threshold": 3, "min_samples": 2, **overrides})
+    return Engine.from_functions(function, config=config)
+
+
 class TestAdaptiveRuntimeSpeculation:
-    def _warm(self, rt, name, calls):
+    def _warm(self, engine, name, calls):
+        handle = engine.function(name)
         for _ in range(calls):
             args, memory = speculative_arguments(name)
-            fn = rt.functions[name].base
+            fn = handle.state.base
             expected = run_function(fn, args, memory=memory.copy()).value
-            assert rt.call(name, args, memory=memory).value == expected
+            assert handle(*args, memory=memory) == expected
 
     @pytest.mark.parametrize("name", SPECULATIVE_NAMES)
     def test_full_tier_journey(self, name):
         function = speculative_function(name)
-        rt = AdaptiveRuntime(hotness_threshold=3, min_samples=2)
-        rt.register(function)
-        self._warm(rt, name, 5)
-        stats = rt.stats(name)
-        assert stats["compiled"] == 1 and stats["speculative"] == 1
-        assert stats["guards"] >= 1
-        assert stats["guard_failures"] == 0
+        engine = _speculation_engine(function)
+        handle = engine.function(name)
+        self._warm(engine, name, 5)
+        stats = handle.stats
+        assert stats.compiled == 1 and stats.speculative == 1
+        assert stats.guards >= 1
+        assert stats.guard_failures == 0
+        assert handle.tier == "optimized"
 
         # First violating call: guard failure → deoptimizing OSR.
         args, memory = speculative_arguments(name, violate=True)
         expected = run_function(function, args, memory=memory.copy()).value
-        assert rt.call(name, args, memory=memory).value == expected
-        stats = rt.stats(name)
-        assert stats["guard_failures"] == 1
-        assert stats["osr_exits"] == 1
-        assert stats["dispatch_misses"] == 1 and stats["dispatch_hits"] == 0
-        assert stats["continuations"] == 1
+        assert handle(*args, memory=memory) == expected
+        stats = handle.stats
+        assert stats.guard_failures == 1
+        assert stats.osr_exits == 1
+        assert stats.dispatch_misses == 1 and stats.dispatch_hits == 0
+        assert stats.continuations == 1
 
         # Repeated violations: dispatched OSR, no re-deoptimization.
         for _ in range(3):
             args, memory = speculative_arguments(name, violate=True)
             expected = run_function(function, args, memory=memory.copy()).value
-            assert rt.call(name, args, memory=memory).value == expected
-        stats = rt.stats(name)
-        assert stats["dispatch_hits"] == 3
-        assert stats["osr_exits"] == 1, "dispatch must not re-deoptimize"
-        kinds = [kind for _, kind, _ in rt.events]
+            assert handle(*args, memory=memory) == expected
+        stats = handle.stats
+        assert stats.dispatch_hits == 3
+        assert stats.osr_exits == 1, "dispatch must not re-deoptimize"
+        kinds = [event.kind for event in engine.events]
         assert "deoptimizing-osr" in kinds and "dispatched-osr" in kinds
 
     def test_optimizing_osr_fires_mid_loop_on_triggering_call(self):
         function = speculative_function("dispatch")
-        rt = AdaptiveRuntime(hotness_threshold=3, min_samples=2)
-        rt.register(function)
-        self._warm(rt, "dispatch", 3)
-        assert rt.stats("dispatch")["osr_entries"] == 1
-        assert any(kind == "optimizing-osr" for _, kind, _ in rt.events)
+        engine = _speculation_engine(function)
+        self._warm(engine, "dispatch", 3)
+        assert engine.stats("dispatch").osr_entries == 1
+        assert any(event.kind == "optimizing-osr" for event in engine.events)
 
     def test_osr_entry_rejected_when_triggering_call_violates(self):
         # The call that crosses the hotness threshold itself violates the
         # speculation: the runtime must not jump over the entry guards.
         function = speculative_function("dispatch")
-        rt = AdaptiveRuntime(hotness_threshold=3, min_samples=2)
-        rt.register(function)
-        self._warm(rt, "dispatch", 2)
+        engine = _speculation_engine(function)
+        self._warm(engine, "dispatch", 2)
         args, memory = speculative_arguments("dispatch", violate=True)
         expected = run_function(function, args, memory=memory.copy()).value
-        assert rt.call("dispatch", args, memory=memory).value == expected
-        assert any(kind == "osr-entry-rejected" for _, kind, _ in rt.events)
-        assert rt.stats("dispatch")["osr_entries"] == 0
+        assert engine.call("dispatch", args, memory=memory).value == expected
+        assert any(event.kind == "osr-entry-rejected" for event in engine.events)
+        assert engine.stats("dispatch").osr_entries == 0
 
     def test_guard_failure_on_first_optimized_execution(self):
         # clamp_sum's cold-path guard sits inside the loop, so the
         # triggering call OSRs into the optimized code and then fails the
         # guard mid-loop — all within the first optimized execution.
         function = speculative_function("clamp_sum")
-        rt = AdaptiveRuntime(hotness_threshold=3, min_samples=2)
-        rt.register(function)
-        self._warm(rt, "clamp_sum", 2)
+        engine = _speculation_engine(function)
+        self._warm(engine, "clamp_sum", 2)
         args, memory = speculative_arguments("clamp_sum", violate=True)
         expected = run_function(function, args, memory=memory.copy()).value
-        assert rt.call("clamp_sum", args, memory=memory).value == expected
-        kinds = [kind for _, kind, _ in rt.events]
+        assert engine.call("clamp_sum", args, memory=memory).value == expected
+        kinds = [event.kind for event in engine.events]
         assert "optimizing-osr" in kinds
         assert "deoptimizing-osr" in kinds
-        assert rt.stats("clamp_sum")["guard_failures"] == 1
+        assert engine.stats("clamp_sum").guard_failures == 1
 
     def test_deoptimize_at_unmapped_point_raises(self):
         function = speculative_function("dispatch")
-        rt = AdaptiveRuntime(hotness_threshold=1, min_samples=2)
-        rt.register(function)
+        engine = _speculation_engine(function, hotness_threshold=1)
+        handle = engine.function("dispatch")
         args, memory = speculative_arguments("dispatch")
-        rt.call("dispatch", args, memory=memory)
+        handle.call(args, memory=memory)
         with pytest.raises(KeyError):
-            rt.deoptimize_at(
-                "dispatch",
+            handle.deoptimize_at(
                 ProgramPoint("no.such.block", 0),
-                *[[0, 0, 0]],
+                [0, 0, 0],
                 memory=None,
             )
 
     def test_continuation_is_wellformed_and_specialized(self):
         function = speculative_function("dispatch")
-        rt = AdaptiveRuntime(hotness_threshold=3, min_samples=2)
-        rt.register(function)
-        self._warm(rt, "dispatch", 5)
+        engine = _speculation_engine(function)
+        self._warm(engine, "dispatch", 5)
         args, memory = speculative_arguments("dispatch", violate=True)
-        rt.call("dispatch", args, memory=memory)
-        state = rt.functions["dispatch"]
+        engine.call("dispatch", args, memory=memory)
+        state = engine.function("dispatch").state
         assert len(state.continuations) == 1
         cached = next(iter(state.continuations.values()))
         verify_function(cached.info.function)
@@ -315,12 +318,12 @@ class TestAdaptiveRuntimeSpeculation:
 
     def test_speculation_disabled_runs_plain_pipeline(self):
         function = speculative_function("dispatch")
-        rt = AdaptiveRuntime(hotness_threshold=2, speculate=False)
-        rt.register(function)
+        engine = _speculation_engine(function, hotness_threshold=2, speculate=False)
+        handle = engine.function("dispatch")
         for _ in range(3):
             args, memory = speculative_arguments("dispatch")
             expected = run_function(function, args, memory=memory.copy()).value
-            assert rt.call("dispatch", args, memory=memory).value == expected
-        stats = rt.stats("dispatch")
-        assert stats["compiled"] == 1
-        assert stats["speculative"] == 0 and stats["guards"] == 0
+            assert handle(*args, memory=memory) == expected
+        stats = handle.stats
+        assert stats.compiled == 1
+        assert stats.speculative == 0 and stats.guards == 0
