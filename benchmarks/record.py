@@ -35,6 +35,20 @@ Emits ``BENCH_speculation.json`` with three kinds of metrics:
   interprocedural tier must measurably erase call overhead, not just
   pass its tests.
 
+* **concurrent throughput** — ``concurrent_throughput`` per call-heavy
+  kernel: total calls/sec with 1, 4 and 8 threads hammering one shared,
+  warmed engine (``compile_workers=1``), plus ``scaling_4`` — the
+  4-thread/1-thread ratio.  The recording also notes whether the
+  interpreter's GIL was active: on a stock CPython build pure-Python
+  execution cannot scale past ~1x no matter how correct the locking is,
+  so the ``--check`` floor adapts — ``>= 2.0`` on a free-threaded
+  build (real parallelism must pay off), ``>= 0.5`` under the GIL (the
+  engine's locks must not *collapse* throughput under contention).  The
+  ``compile_stall`` companion metric is GIL-independent: the worst
+  single-call latency during cold warmup with synchronous compilation
+  vs with a background worker — background compilation must shave the
+  compile stall off the request path (``--stall-floor``, default 1.2).
+
 Usage::
 
     python benchmarks/record.py                      # record a fresh file
@@ -51,6 +65,8 @@ import argparse
 import json
 import statistics
 import sys
+import sysconfig
+import threading
 import time
 from pathlib import Path
 
@@ -456,6 +472,201 @@ def _event_overhead(repeats: int) -> dict:
     }
 
 
+#: Thread counts measured by the concurrent-throughput metric.
+CONCURRENT_THREAD_COUNTS = (1, 4, 8)
+
+#: Calls each thread performs per throughput measurement.
+CONCURRENT_BATCH = 40
+
+#: Kernels hammered by the concurrency metrics (a subset keeps the
+#: bench-smoke wall time bounded; both are call-heavy and tier up with
+#: inlined callees).
+CONCURRENT_KERNELS = ("helper_loop", "chain")
+
+#: Measurement rounds per configuration; the best round is kept, which
+#: cancels transient scheduler noise the same way EVENT_RETRIES does.
+CONCURRENT_ROUNDS = 3
+
+
+def _gil_enabled() -> bool:
+    checker = getattr(sys, "_is_gil_enabled", None)
+    if checker is not None:
+        return bool(checker())
+    return not bool(sysconfig.get_config_var("Py_GIL_DISABLED"))
+
+
+def _warmed_concurrent_engine(name: str):
+    entry = CALL_KERNEL_ENTRIES[name]
+    engine = Engine.from_module(
+        call_kernel_module(name),
+        config=EngineConfig(
+            hotness_threshold=3,
+            min_samples=2,
+            inline_min_calls=2,
+            opt_backend="compiled",
+            compile_workers=1,
+        ),
+    )
+    args, memory = call_kernel_arguments(name, size=INLINE_KERNEL_SIZE)
+    for _ in range(10):
+        engine.call(entry, args, memory=memory)
+    if not engine.wait_for_compilation(timeout=120):
+        raise AssertionError(f"{name}: background compile never finished")
+    assert engine.stats(entry).compiled, f"{name} never tiered up"
+    return engine, entry, args, memory
+
+
+def _throughput(engine, entry, args, memory, threads: int) -> float:
+    """Total calls/sec of ``threads`` workers hammering one shared engine."""
+    barrier = threading.Barrier(threads + 1)
+    errors = []
+
+    def worker():
+        local_memory = memory.copy()
+        barrier.wait()
+        try:
+            for _ in range(CONCURRENT_BATCH):
+                engine.call(entry, args, memory=local_memory)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(repr(exc))
+
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for thread in pool:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in pool:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise AssertionError(f"concurrent workers failed: {errors[:3]}")
+    return threads * CONCURRENT_BATCH / elapsed
+
+
+def _concurrent_throughput() -> dict:
+    """Calls/sec at 1/4/8 threads per kernel, on one shared warmed engine.
+
+    Each configuration is measured ``CONCURRENT_ROUNDS`` times and the
+    best round kept.  ``scaling_4`` is the headline ratio the ``--check``
+    gate floors; the per-thread-count absolute numbers are recorded for
+    the artifact trail.  Under the GIL the honest expectation for
+    pure-Python kernels is ~1x — the recording says so explicitly via
+    ``gil_enabled`` instead of pretending threads parallelize work that
+    the interpreter serializes.
+    """
+    results: dict = {}
+    for name in CONCURRENT_KERNELS:
+        engine, entry, args, memory = _warmed_concurrent_engine(name)
+        with engine:
+            per_count = {}
+            for threads in CONCURRENT_THREAD_COUNTS:
+                best = 0.0
+                for _ in range(CONCURRENT_ROUNDS):
+                    best = max(best, _throughput(engine, entry, args, memory, threads))
+                per_count[str(threads)] = round(best, 2)
+        per_count["scaling_4"] = round(per_count["4"] / per_count["1"], 4)
+        per_count["scaling_8"] = round(per_count["8"] / per_count["1"], 4)
+        results[name] = per_count
+    return {
+        "concurrent_throughput": results,
+        "thread_counts": list(CONCURRENT_THREAD_COUNTS),
+        "batch_calls": CONCURRENT_BATCH,
+        "gil_enabled": _gil_enabled(),
+        "min_scaling_4": round(
+            min(kernel["scaling_4"] for kernel in results.values()), 4
+        ),
+    }
+
+
+#: Measurement rounds for the compile-stall metric: the async side's
+#: worst call is luck-shaped (it depends on whether a measured call
+#: overlaps the one atomic ``compile()`` chunk of the background job),
+#: so more rounds give the min-of-maxima a fair shot at a clean round.
+STALL_ROUNDS = 4
+
+#: Input size for the compile-stall measurement: small enough that a
+#: base-tier call costs well under a millisecond, so the tier-up stall
+#: (tens of pipeline passes + deopt-plan construction) dominates the
+#: worst-call latency instead of drowning in interpreter time.
+STALL_KERNEL_SIZE = 8
+
+
+def _worst_warmup_latency(name: str, *, workers: int) -> float:
+    """Max single-call latency across a cold engine's warmup calls.
+
+    The very first call is excluded: it pays mode-independent cold-start
+    costs (allocator warmup, import side effects), never the tier-up
+    stall — the hotness threshold is above 1 — and its noise would sit
+    in both maxima, washing the ratio toward 1.
+    """
+    entry = CALL_KERNEL_ENTRIES[name]
+    engine = Engine.from_module(
+        call_kernel_module(name),
+        config=EngineConfig(
+            hotness_threshold=3,
+            min_samples=2,
+            inline_min_calls=2,
+            opt_backend="compiled",
+            compile_workers=workers,
+        ),
+    )
+    args, memory = call_kernel_arguments(name, size=STALL_KERNEL_SIZE)
+    worst = 0.0
+    with engine:
+        for index in range(12):
+            start = time.perf_counter()
+            engine.call(entry, args, memory=memory)
+            elapsed = time.perf_counter() - start
+            if index > 0:
+                worst = max(worst, elapsed)
+        engine.wait_for_compilation(timeout=120)
+    return worst
+
+
+def _compile_stall() -> dict:
+    """Worst-call latency during warmup: synchronous vs background compile.
+
+    With ``compile_workers=0`` the call that crosses the hotness
+    threshold pays the whole optimization pipeline inline; with a
+    background worker no request-path call ever does (the publish even
+    pre-lowers the backend artifact, so the first optimized call pays no
+    setup either).  Each mode is sampled ``STALL_ROUNDS`` times and
+    the *minimum* of the per-round maxima kept — a transient scheduler
+    hiccup inflates one round's maximum, but the systematic compile
+    stall survives every round.  The interpreter's thread switch
+    interval is tightened during the measurement so a request call can
+    preempt the compile worker promptly — the GIL otherwise hands the
+    worker 5 ms slices, which is scheduling policy, not engine
+    overhead.  One chunk of the background job is irreducibly atomic
+    (the CPython ``compile()`` of the generated source holds the GIL
+    for its whole duration), so a measured call that overlaps it is
+    delayed by a few milliseconds no matter what — the floor is set
+    below that bound, and quiet rounds routinely show 2-18x.  This win
+    is GIL-independent: it is about latency on the request path, not
+    CPU parallelism.
+    """
+    old_interval = sys.getswitchinterval()
+    sys.setswitchinterval(0.0002)
+    try:
+        ratios: dict = {}
+        for name in CONCURRENT_KERNELS:
+            sync_worst = min(
+                _worst_warmup_latency(name, workers=0)
+                for _ in range(STALL_ROUNDS)
+            )
+            async_worst = min(
+                _worst_warmup_latency(name, workers=1)
+                for _ in range(STALL_ROUNDS)
+            )
+            ratios[name] = round(sync_worst / async_worst, 4)
+    finally:
+        sys.setswitchinterval(old_interval)
+    return {
+        "sync_vs_background_worst_call": ratios,
+        "min_stall_ratio": round(min(ratios.values()), 4),
+    }
+
+
 def record(repeats: int) -> dict:
     return {
         "kernel": KERNEL,
@@ -464,6 +675,7 @@ def record(repeats: int) -> dict:
         "backend": _backend_speedups(repeats),
         "inlining": _inlining_speedups(repeats),
         "events": _event_overhead(repeats),
+        "concurrency": {**_concurrent_throughput(), **_compile_stall()},
         "meta": {"repeats": repeats},
     }
 
@@ -476,8 +688,40 @@ def check(
     inline_floor: float = 1.5,
     inline_floor_kernels: int = 2,
     event_overhead_limit: float = 0.05,
+    concurrent_scaling_floor: float = None,
+    stall_floor: float = 1.2,
 ) -> list:
     problems = []
+
+    # Concurrency: hard floors against the *current* recording only
+    # (wall-clock scaling is machine-shaped; a baseline drift band would
+    # be noise).  The scaling floor adapts to the build: a free-threaded
+    # interpreter must show real parallel speedup, a GIL build must
+    # merely prove the engine's locks don't collapse under contention.
+    concurrency = current.get("concurrency", {})
+    if concurrency:
+        if concurrent_scaling_floor is None:
+            concurrent_scaling_floor = (
+                0.5 if concurrency.get("gil_enabled", True) else 2.0
+            )
+        for key, numbers in concurrency.get("concurrent_throughput", {}).items():
+            scaling = numbers.get("scaling_4")
+            if scaling is None or scaling < concurrent_scaling_floor:
+                problems.append(
+                    f"concurrent throughput on {key}: 4-thread scaling "
+                    f"{scaling} is below the floor of "
+                    f"{concurrent_scaling_floor}x "
+                    f"(gil_enabled={concurrency.get('gil_enabled')})"
+                )
+        for key, ratio in concurrency.get(
+            "sync_vs_background_worst_call", {}
+        ).items():
+            if ratio < stall_floor:
+                problems.append(
+                    f"compile stall on {key}: background compilation cut the "
+                    f"worst warmup call by only {ratio}x "
+                    f"(floor {stall_floor}x)"
+                )
 
     # Event-bus overhead: a hard cap against the *current* recording only
     # (no baseline needed — the contract is absolute: observability must
@@ -586,6 +830,26 @@ def main(argv=None) -> int:
         default=0.05,
         help="maximum accepted event-bus cost (fraction; 0.05 = 5%%)",
     )
+    parser.add_argument(
+        "--concurrent-scaling-floor",
+        type=float,
+        default=None,
+        help=(
+            "minimum accepted 4-thread/1-thread throughput ratio "
+            "(default: 2.0 on a free-threaded build, 0.5 under the GIL)"
+        ),
+    )
+    parser.add_argument(
+        "--stall-floor",
+        type=float,
+        default=1.2,
+        help=(
+            "minimum accepted reduction of the worst warmup-call latency "
+            "by background compilation (the CPython compile() of the "
+            "generated code holds the GIL atomically, which bounds the "
+            "observable win on any GIL build; quiet rounds show 2-18x)"
+        ),
+    )
     parser.add_argument("--repeats", type=int, default=30)
     parser.add_argument(
         "--check",
@@ -615,6 +879,8 @@ def main(argv=None) -> int:
         options.inline_floor,
         options.inline_floor_kernels,
         options.event_overhead_limit,
+        options.concurrent_scaling_floor,
+        options.stall_floor,
     )
     if problems:
         print("benchmark regression check FAILED:", file=sys.stderr)

@@ -19,6 +19,7 @@ with *Deoptless*'s policy knobs made first-class):
 
 from .config import EngineConfig
 from .events import (
+    REREGISTERED,
     ContinuationCached,
     ContinuationEvicted,
     ContinuationHit,
@@ -73,6 +74,7 @@ __all__ = [
     "ContinuationEvicted",
     "MultiFrameDeopt",
     "Invalidated",
+    "REREGISTERED",
     "EventBus",
     "RingBufferRecorder",
 ]

@@ -103,6 +103,15 @@ class EngineConfig:
     #: Explicit pass pipeline (disables speculation when set).
     passes: Optional[Tuple[Any, ...]] = None
 
+    # --- background compilation ----------------------------------------- #
+    #: Worker threads for off-thread optimization.  ``0`` (the default)
+    #: compiles synchronously on the triggering call — today's
+    #: deterministic behavior, which tests rely on.  With ``>= 1`` a hot
+    #: function's compile job is submitted to a bounded worker pool and
+    #: the request path keeps executing the base tier until the finished
+    #: version is atomically published into the tier table.
+    compile_workers: int = 0
+
     # --- bounded observability ------------------------------------------ #
     #: Capacity of the event ring buffer (the bounded transition log).
     event_buffer_size: int = 4096
@@ -128,6 +137,8 @@ class EngineConfig:
                  f"max_call_depth must be >= 1, got {self.max_call_depth}")
         _require(self.step_limit >= 1,
                  f"step_limit must be >= 1, got {self.step_limit}")
+        _require(self.compile_workers >= 0,
+                 f"compile_workers must be >= 0, got {self.compile_workers}")
         _require(self.event_buffer_size >= 1,
                  f"event_buffer_size must be >= 1, got {self.event_buffer_size}")
         _require(self.continuation_cache_size >= 1,

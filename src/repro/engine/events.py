@@ -18,13 +18,34 @@ The adaptive runtime used to narrate its life as an unbounded list of
 The bus is deliberately cheap when idle: steady-state warm calls emit
 no events at all, and publishing is one recorder append plus one call
 per subscriber.
+
+Both the bus and the recorder are **thread-safe**: the concurrent
+runtime publishes tier transitions from request threads and from
+background compile workers alike.  Registration order is preserved,
+subscriptions are identified by token (subscribing the same callable
+twice yields two independent registrations, each with its own
+unsubscriber), publish delivers to a snapshot of the subscriber list
+(so a subscriber unsubscribing — itself or another — mid-publish can
+never make a different subscriber miss the event), and subscriber
+callbacks run *outside* the bus lock so a callback may freely
+subscribe, unsubscribe, or publish without deadlocking.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, ClassVar, Deque, Iterator, List, Optional, Tuple
+from typing import (
+    Callable,
+    ClassVar,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from ..ir.function import ProgramPoint
 
@@ -42,6 +63,7 @@ __all__ = [
     "ContinuationEvicted",
     "MultiFrameDeopt",
     "Invalidated",
+    "REREGISTERED",
     "EventBus",
     "RingBufferRecorder",
     "Subscriber",
@@ -161,9 +183,20 @@ class MultiFrameDeopt(RuntimeEvent):
     kind: ClassVar[str] = "multiframe-deopt"
 
 
+#: ``Invalidated.reason`` used when a name is re-registered with a new
+#: function body: the old version, its continuations, its profile and
+#: its statistics are all discarded, not just the installed code.
+REREGISTERED = "re-registered"
+
+
 @dataclass(frozen=True)
 class Invalidated(RuntimeEvent):
-    """Repeated failures refuted a speculation; the version was discarded."""
+    """Repeated failures refuted a speculation; the version was discarded.
+
+    Also published (with ``reason=REREGISTERED``) when a registered name
+    is explicitly replaced by a new function body — subscribers holding
+    anything derived from the old version must drop it.
+    """
 
     reason: Optional[str] = None
 
@@ -174,10 +207,13 @@ Subscriber = Callable[[RuntimeEvent], None]
 
 
 class RingBufferRecorder:
-    """A bounded, iteration-ordered event log.
+    """A bounded, iteration-ordered, thread-safe event log.
 
     Holds the most recent ``capacity`` events; older ones are evicted
     (and counted in :attr:`dropped`) rather than growing without bound.
+    A lock makes ``record`` atomic with the total counter, so events
+    published concurrently from request threads and compile workers are
+    never lost or double-counted; iteration works over a snapshot.
     """
 
     def __init__(self, capacity: int = 4096) -> None:
@@ -185,31 +221,37 @@ class RingBufferRecorder:
             raise ValueError(f"recorder capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._events: Deque[RuntimeEvent] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
         #: Total events ever recorded (including evicted ones).
         self.total = 0
 
     @property
     def dropped(self) -> int:
         """How many events have been evicted to stay within capacity."""
-        return self.total - len(self._events)
+        with self._lock:
+            return self.total - len(self._events)
 
     def record(self, event: RuntimeEvent) -> None:
-        self.total += 1
-        self._events.append(event)
+        with self._lock:
+            self.total += 1
+            self._events.append(event)
 
     def clear(self) -> None:
-        self._events.clear()
-        self.total = 0
+        with self._lock:
+            self._events.clear()
+            self.total = 0
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._lock:
+            return len(self._events)
 
     def __iter__(self) -> Iterator[RuntimeEvent]:
-        return iter(self._events)
+        return iter(self.events())
 
     def events(self) -> List[RuntimeEvent]:
-        """The retained events, oldest first."""
-        return list(self._events)
+        """A snapshot of the retained events, oldest first."""
+        with self._lock:
+            return list(self._events)
 
 
 class EventBus:
@@ -219,32 +261,49 @@ class EventBus:
     recorder, then handed to each subscriber in registration order.
     Subscribers are plain callables; :meth:`subscribe` returns an
     unsubscribe closure so scoped observation needs no bookkeeping.
+
+    Each subscription is identified by a private token, not by the
+    callable's equality: subscribing the same callable twice yields two
+    registrations whose unsubscribers each remove exactly their own
+    (historically, equality-based removal made the first token cancel
+    the *other* registration).  Unsubscribing is idempotent.  Publish
+    snapshots the subscriber list under the lock and invokes callbacks
+    outside it, so a callback that unsubscribes mid-publish never makes
+    another subscriber skip the event, and callbacks may re-enter the
+    bus freely.
     """
 
     def __init__(self, recorder: Optional[RingBufferRecorder] = None) -> None:
         self.recorder = recorder
-        self._subscribers: List[Subscriber] = []
+        self._lock = threading.Lock()
+        #: Insertion-ordered token → subscriber map (dict preserves
+        #: registration order for delivery).
+        self._subscribers: Dict[int, Subscriber] = {}
+        self._next_token = 0
 
     def subscribe(self, subscriber: Subscriber) -> Callable[[], None]:
-        self._subscribers.append(subscriber)
+        with self._lock:
+            token = self._next_token
+            self._next_token += 1
+            self._subscribers[token] = subscriber
 
         def unsubscribe() -> None:
-            if subscriber in self._subscribers:
-                self._subscribers.remove(subscriber)
+            with self._lock:
+                self._subscribers.pop(token, None)
 
         return unsubscribe
 
     @property
     def subscriber_count(self) -> int:
-        return len(self._subscribers)
+        with self._lock:
+            return len(self._subscribers)
 
     def publish(self, event: RuntimeEvent) -> None:
         if self.recorder is not None:
             self.recorder.record(event)
-        # Snapshot: a subscriber may unsubscribe (itself or another) from
-        # inside its callback; mutating the live list mid-iteration would
-        # silently skip the next subscriber for this event.
-        for subscriber in tuple(self._subscribers):
+        with self._lock:
+            subscribers = tuple(self._subscribers.values())
+        for subscriber in subscribers:
             subscriber(event)
 
     def events(self) -> List[RuntimeEvent]:

@@ -20,6 +20,14 @@ event stream into per-function :class:`~repro.engine.stats.EngineStats`,
 and the :class:`~repro.vm.runtime.AdaptiveRuntime` mechanism configured
 by a frozen :class:`~repro.engine.config.EngineConfig` and steered by a
 pluggable :class:`~repro.engine.policy.TieringPolicy`.
+
+One engine may serve any number of threads concurrently: handles are
+shareable, calls are safe to interleave, and with
+``EngineConfig.compile_workers >= 1`` tier-up work runs on a bounded
+background pool instead of stalling the triggering call (use the
+engine as a context manager, or call :meth:`Engine.close`, to stop the
+pool deterministically).  See the README's "Concurrency & background
+compilation" section for the full threading model.
 """
 
 from __future__ import annotations
@@ -174,14 +182,53 @@ class Engine:
         return engine
 
     # ------------------------------------------------------------------ #
+    # Lifecycle.
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop the background compile pool (idempotent).
+
+        In-flight compiles finish (and publish) first; registered
+        functions keep working in whatever tier they reached.  Only
+        meaningful with ``compile_workers >= 1`` — a no-op otherwise.
+        """
+        self.runtime.shutdown()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def wait_for_compilation(
+        self, name: Optional[str] = None, *, timeout: Optional[float] = None
+    ) -> bool:
+        """Block until in-flight background compiles finish.
+
+        With ``name`` waits for that function only; otherwise for every
+        registered function.  Returns ``False`` on timeout.  Useful for
+        tests and benchmarks that want the optimized steady state before
+        measuring.
+        """
+        return self.runtime.wait_for_compilation(name, timeout=timeout)
+
+    # ------------------------------------------------------------------ #
     # Registration and lookup.
     # ------------------------------------------------------------------ #
-    def register(self, function: Function) -> FunctionHandle:
-        self.runtime.register(function)
+    def register(self, function: Function, *, replace: bool = False) -> FunctionHandle:
+        """Register ``function`` for tiering.
+
+        A name collision raises unless ``replace=True``, which discards
+        the old version (publishing ``Invalidated(reason=REREGISTERED)``
+        and resetting that name's statistics and profile) — see
+        :meth:`repro.vm.runtime.AdaptiveRuntime.register`.
+        """
+        self.runtime.register(function, replace=replace)
         return self.function(function.name)
 
-    def register_module(self, module: Module) -> List[FunctionHandle]:
-        self.runtime.register_module(module)
+    def register_module(
+        self, module: Module, *, replace: bool = False
+    ) -> List[FunctionHandle]:
+        self.runtime.register_module(module, replace=replace)
         return [self.function(function.name) for function in module]
 
     def function(self, name: str) -> FunctionHandle:

@@ -20,6 +20,13 @@ Policies are stateless strategies over the runtime's per-function
 (deopt-plan coverage, version identity, seeded-plan exclusions) stay in
 the mechanism and cannot be overridden from here.
 
+Concurrency contract: the runtime may consult a policy from any request
+thread, and :meth:`~TieringPolicy.should_compile` is evaluated *inside*
+the function's state lock so the compile claim is race-free — policy
+methods must therefore be quick, must not call back into the runtime or
+engine, and, if they keep their own state (e.g. a counting test
+policy), must protect it themselves.
+
 :class:`HotnessPolicy` is the production default.  :class:`AlwaysCompile`
 and :class:`NeverCompile` pin the compile decision for tests that need a
 deterministic tier.

@@ -18,10 +18,12 @@ time; everything else is pure reduction.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 from typing import Dict
 
 from .events import (
+    REREGISTERED,
     ContinuationCached,
     ContinuationEvicted,
     DeoptimizingOSR,
@@ -75,19 +77,42 @@ class EngineStats:
 
 
 class StatsCollector:
-    """A bus subscriber folding events into per-function `EngineStats`."""
+    """A bus subscriber folding events into per-function `EngineStats`.
+
+    The fold is a read-modify-write per event, so it is serialized by a
+    lock: events published concurrently (request threads, background
+    compile workers) are each folded exactly once — the stress suite
+    asserts the reduction stays exact under contention.
+    """
 
     def __init__(self) -> None:
         self._stats: Dict[str, EngineStats] = {}
+        self._lock = threading.Lock()
 
     def function(self, name: str) -> EngineStats:
         """The reduced stats for ``name`` (zeros if never observed)."""
-        return self._stats.get(name, EngineStats())
+        with self._lock:
+            return self._stats.get(name, EngineStats())
 
     def functions(self) -> Dict[str, EngineStats]:
-        return dict(self._stats)
+        with self._lock:
+            return dict(self._stats)
 
     def __call__(self, event: RuntimeEvent) -> None:
+        if isinstance(event, Invalidated) and event.reason == REREGISTERED:
+            # A re-registration discards the whole per-name history, not
+            # just the installed version: the mechanism starts a fresh
+            # TieredFunction, so the fold starts a fresh EngineStats to
+            # stay in exact agreement with it.  (Activations still
+            # executing the superseded version may publish events after
+            # this reset; agreement is guaranteed again once they drain.)
+            with self._lock:
+                self._stats[event.function] = EngineStats()
+            return
+        with self._lock:
+            self._fold(event)
+
+    def _fold(self, event: RuntimeEvent) -> None:
         stats = self._stats.get(event.function, EngineStats())
         if isinstance(event, TierUp):
             stats = replace(

@@ -23,12 +23,15 @@ from .profile import (
     CallSiteProfile,
     FunctionProfile,
     RegisterProfile,
+    ShardedValueProfile,
     ValueProfile,
 )
 from .runtime import (
     AdaptiveRuntime,
     CachedContinuation,
+    CompiledVersion,
     ContinuationKey,
+    ExecutionContext,
     TieredFunction,
 )
 
@@ -36,8 +39,11 @@ __all__ = [
     "AdaptiveRuntime",
     "TieredFunction",
     "CachedContinuation",
+    "CompiledVersion",
     "ContinuationKey",
+    "ExecutionContext",
     "ValueProfile",
+    "ShardedValueProfile",
     "FunctionProfile",
     "RegisterProfile",
     "BranchProfile",

@@ -62,6 +62,15 @@ class ExecutionBackend:
     :class:`~repro.ir.interp.GuardFailure` (carrying the live state at
     the failing guard) so deoptimization handling is identical no matter
     which engine was executing.
+
+    Concurrency contract: :meth:`run` and :meth:`run_from` must be safe
+    to invoke from any number of threads at once — per-activation state
+    lives on the activation, never on the backend.  Callers passing an
+    explicit :class:`~repro.ir.interp.Memory` are responsible for not
+    sharing one instance across concurrently executing activations.
+    :meth:`register_native` is a setup-time operation; registering
+    while other threads are executing is allowed but new names become
+    visible to in-flight activations at an unspecified point.
     """
 
     #: Registry name of the backend.
@@ -115,6 +124,16 @@ class ExecutionBackend:
         engine executed the caller.
         """
         raise NotImplementedError
+
+    def prepare(self, function: Function) -> None:
+        """Pre-build whatever :meth:`run` would otherwise build lazily.
+
+        The background-compilation pipeline calls this before a version
+        is published so the *request path* never pays first-run setup
+        (for the closure backend: lowering to Python and ``compile()``).
+        Default: nothing to prepare.
+        """
+        return None
 
 
 class InterpreterBackend(ExecutionBackend):
@@ -238,6 +257,10 @@ class CompiledBackend(ExecutionBackend):
     def register_native(self, name: str, fn: NativeFunction) -> None:
         reject_reserved_names((name,))
         self.natives[name] = fn
+
+    def prepare(self, function: Function) -> None:
+        """Lower (and cache) the entry artifact ahead of the first run."""
+        self.compiler.compile(function)
 
     # -------------------------------------------------------------- #
     # ExecutionBackend interface.

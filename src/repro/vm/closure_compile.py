@@ -39,6 +39,7 @@ code still fails loudly instead of hanging.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..ir.expr import BinOp, Const, Expr, UnOp, Undef, Var, int_div, int_rem
@@ -249,6 +250,14 @@ class ClosureCompiler:
     call through ``resolve_call(name, args, memory)``, which the owning
     backend wires to module functions (compiled recursively) or host
     natives.
+
+    Thread-safety: the generated closures keep *all* execution state in
+    locals (plus the caller-supplied :class:`Memory`), so one compiled
+    artifact may run on any number of threads at once.  The artifact
+    cache itself is lock-protected; when two threads race to compile the
+    same ``(function, entry)`` the loser's artifact is discarded in
+    favour of the already-published one, so callers always share a
+    single compiled object per key.
     """
 
     def __init__(
@@ -262,6 +271,7 @@ class ClosureCompiler:
         self.verify = verify
         self.resolve_call = resolve_call or _no_calls
         self._cache: Dict[Tuple[int, Optional[ProgramPoint]], CompiledFunction] = {}
+        self._cache_lock = threading.Lock()
 
     def compile(
         self, function: Function, entry: Optional[ProgramPoint] = None
@@ -273,13 +283,18 @@ class ClosureCompiler:
         (the runtime only compiles after the pass pipeline finished).
         """
         key = (id(function), entry)
-        cached = self._cache.get(key)
+        with self._cache_lock:
+            cached = self._cache.get(key)
         if cached is not None and cached.function is function:
             return cached
         if self.verify:
             verify_function(function, require_ssa=False)
         compiled = self._lower(function, entry)
-        self._cache[key] = compiled
+        with self._cache_lock:
+            winner = self._cache.get(key)
+            if winner is not None and winner.function is function:
+                return winner  # another thread published first
+            self._cache[key] = compiled
         return compiled
 
     def _lower(

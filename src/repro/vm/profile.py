@@ -13,10 +13,19 @@ asks the profile two questions: which registers were *monomorphic*
 (always — or almost always — one value) and which branches were heavily
 *biased* in one direction.  Those are the facts the speculative tier
 assumes and protects with ``guard`` instructions.
+
+Concurrency: a :class:`ValueProfile` is a single-threaded sink — its
+histograms are plain dict/Counter read-modify-write sequences.  The
+adaptive runtime therefore records into a :class:`ShardedValueProfile`,
+which keeps one private :class:`ValueProfile` *per recording thread*
+(no locks on the hot profiling path, no lost updates) and merges the
+shards into an immutable snapshot at compile-submission time via the
+:meth:`FunctionProfile.merge`/:meth:`FunctionProfile.clone` machinery.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
@@ -29,6 +38,7 @@ __all__ = [
     "CallSiteProfile",
     "FunctionProfile",
     "ValueProfile",
+    "ShardedValueProfile",
 ]
 
 #: Histograms stop distinguishing values past this many distinct entries;
@@ -62,6 +72,18 @@ class RegisterProfile:
         value, count = self.counts.most_common(1)[0]
         return value, count / self.samples
 
+    def merge(self, other: "RegisterProfile") -> None:
+        """Fold another histogram of the same register into this one.
+
+        The distinct-value bound is re-enforced on the union: a merged
+        histogram that exceeds it (or either side that already
+        overflowed) is marked overflowed, so a register polymorphic
+        *across* shards is never reported monomorphic.
+        """
+        self.counts.update(other.counts)
+        if other.overflowed or len(self.counts) > MAX_DISTINCT_VALUES:
+            self.overflowed = True
+
 
 @dataclass
 class BranchProfile:
@@ -81,6 +103,10 @@ class BranchProfile:
         if self.taken >= self.not_taken:
             return True, self.taken / self.samples
         return False, self.not_taken / self.samples
+
+    def merge(self, other: "BranchProfile") -> None:
+        self.taken += other.taken
+        self.not_taken += other.not_taken
 
 
 @dataclass
@@ -114,6 +140,14 @@ class CallSiteProfile:
             return "", 0.0
         name, count = self.callees.most_common(1)[0]
         return name, count / self.samples
+
+    def merge(self, other: "CallSiteProfile") -> None:
+        """Fold another shard's facts about the same call site in."""
+        self.callees.update(other.callees)
+        while len(self.arg_values) < len(other.arg_values):
+            self.arg_values.append(RegisterProfile())
+        for slot, theirs in zip(self.arg_values, other.arg_values):
+            slot.merge(theirs)
 
 
 @dataclass
@@ -212,6 +246,41 @@ class FunctionProfile:
                     br.taken, br.not_taken
                 )
 
+    def merge(self, other: "FunctionProfile") -> None:
+        """Fold another profile of the same function into this one.
+
+        Histograms and counters are summed key-wise; the distinct-value
+        bounds are re-enforced on each union.  This is the shard-
+        combining half of :class:`ShardedValueProfile`: each recording
+        thread accumulates privately, and a compile submission merges
+        the shards into one snapshot.
+        """
+        for name, prof in other.values.items():
+            mine = self.values.get(name)
+            if mine is None:
+                self.values[name] = RegisterProfile(
+                    Counter(prof.counts), prof.overflowed
+                )
+            else:
+                mine.merge(prof)
+        for point, br in other.branches.items():
+            mine_br = self.branches.get(point)
+            if mine_br is None:
+                self.branches[point] = BranchProfile(br.taken, br.not_taken)
+            else:
+                mine_br.merge(br)
+        for point, site in other.call_sites.items():
+            mine_site = self.call_sites.get(point)
+            if mine_site is None:
+                clone_site = CallSiteProfile(Counter(site.callees))
+                clone_site.arg_values = [
+                    RegisterProfile(Counter(slot.counts), slot.overflowed)
+                    for slot in site.arg_values
+                ]
+                self.call_sites[point] = clone_site
+            else:
+                mine_site.merge(site)
+
     def clone(self) -> "FunctionProfile":
         """An independent deep copy (histograms included).
 
@@ -280,5 +349,155 @@ class ValueProfile:
             site = profile.call_sites[point] = CallSiteProfile()
         site.record(callee, args)
 
+    def merge(self, other: "ValueProfile") -> None:
+        """Fold every function profile of ``other`` into this sink."""
+        for name, profile in other.functions.items():
+            self.function(name).merge(profile)
+
+    def discard(self, name: str) -> None:
+        """Forget everything recorded about ``name`` (re-registration)."""
+        self.functions.pop(name, None)
+
     def __repr__(self) -> str:
         return f"<ValueProfile {len(self.functions)} functions>"
+
+
+class _ProfileShard:
+    """One thread's private profile plus the lock a snapshot needs.
+
+    The lock is *uncontended* on the recording path (only the owning
+    thread records into its shard) — it exists so a compile-submission
+    snapshot can iterate the shard's dicts without racing an insert,
+    which would raise ``RuntimeError: dictionary changed size during
+    iteration`` on the reader and, via the sticky background-compile
+    error path, permanently poison the function being compiled.
+    """
+
+    __slots__ = ("thread", "lock", "profile")
+
+    def __init__(self) -> None:
+        self.thread = threading.current_thread()
+        self.lock = threading.Lock()
+        self.profile = ValueProfile()
+
+
+class ShardedValueProfile:
+    """A thread-sharded profile sink for the concurrent runtime.
+
+    Implements the same duck-typed profiler interface as
+    :class:`ValueProfile` (``record_value`` / ``record_branch`` /
+    ``record_call``), but every recording thread writes into its own
+    private :class:`ValueProfile` shard, so no thread ever races another
+    thread's read-modify-write and the recording path costs one
+    thread-local lookup plus one *uncontended* lock.  Readers
+    (:meth:`merged`, :meth:`function`) combine the shards into a fresh
+    snapshot — the runtime takes one such snapshot per compile
+    submission, so optimization always sees a consistent, complete view
+    of what *all* threads observed, while the live shards keep
+    recording.
+
+    Shards of threads that have exited are folded into a retained
+    accumulator (and dropped) on the next snapshot, so thread churn in a
+    long-lived server does not grow the shard list — or the cost of
+    future merges — without bound.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._registry_lock = threading.Lock()
+        self._shards: List[_ProfileShard] = []
+        #: Folded profiles of dead threads' shards (registry-locked).
+        self._retired = ValueProfile()
+
+    def _shard(self) -> _ProfileShard:
+        shard = getattr(self._local, "shard", None)
+        if shard is None:
+            shard = _ProfileShard()
+            self._local.shard = shard
+            with self._registry_lock:
+                self._shards.append(shard)
+        return shard
+
+    # ------------------------------------------------------------------ #
+    # Interpreter hooks (hot path: thread-local lookup + uncontended lock).
+    # ------------------------------------------------------------------ #
+    def record_value(self, function: str, register: str, value: int) -> None:
+        shard = self._shard()
+        with shard.lock:
+            shard.profile.record_value(function, register, value)
+
+    def record_branch(self, function: str, point: ProgramPoint, taken: bool) -> None:
+        shard = self._shard()
+        with shard.lock:
+            shard.profile.record_branch(function, point, taken)
+
+    def record_call(
+        self, function: str, point: ProgramPoint, callee: str, args: Sequence[int]
+    ) -> None:
+        shard = self._shard()
+        with shard.lock:
+            shard.profile.record_call(function, point, callee, args)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot readers.
+    # ------------------------------------------------------------------ #
+    def _live_shards(self) -> List[_ProfileShard]:
+        """Retire dead threads' shards; return the live ones (locked call)."""
+        live: List[_ProfileShard] = []
+        for shard in self._shards:
+            if shard.thread.is_alive():
+                live.append(shard)
+            else:
+                # The owning thread exited: no further writes can happen,
+                # so the fold needs no shard lock.
+                self._retired.merge(shard.profile)
+        self._shards = live
+        return list(live)
+
+    def merged(self) -> ValueProfile:
+        """A fresh :class:`ValueProfile` combining every shard.
+
+        The result is an independent snapshot: mutating it feeds nothing
+        back, and later recording does not change it.
+        """
+        snapshot = ValueProfile()
+        with self._registry_lock:
+            shards = self._live_shards()
+            snapshot.merge(self._retired)
+        for shard in shards:
+            with shard.lock:
+                snapshot.merge(shard.profile)
+        return snapshot
+
+    def function(self, name: str) -> FunctionProfile:
+        """A merged snapshot of everything recorded about ``name``."""
+        merged = FunctionProfile()
+        with self._registry_lock:
+            shards = self._live_shards()
+            retired = self._retired.functions.get(name)
+            if retired is not None:
+                merged.merge(retired)
+        for shard in shards:
+            with shard.lock:
+                profile = shard.profile.functions.get(name)
+                if profile is not None:
+                    merged.merge(profile)
+        return merged
+
+    def discard(self, name: str) -> None:
+        """Drop every shard's facts about ``name`` (re-registration).
+
+        The old body's program points need not exist in a replacement
+        function, so stale histograms must not steer its speculation.
+        """
+        with self._registry_lock:
+            self._retired.discard(name)
+            shards = list(self._shards)
+        for shard in shards:
+            with shard.lock:
+                shard.profile.discard(name)
+
+    def __repr__(self) -> str:
+        with self._registry_lock:
+            count = len(self._shards)
+        return f"<ShardedValueProfile {count} shards>"

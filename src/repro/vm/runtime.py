@@ -15,8 +15,9 @@ callee's optimized code is handled entirely within that callee's
 activation.
 
 * **Tier 0 — base.**  Functions start in the interpreter running f_base,
-  with a :class:`~repro.vm.profile.ValueProfile` recording register
-  values, branch directions and per-call-site callee/argument facts.
+  with a :class:`~repro.vm.profile.ShardedValueProfile` recording
+  register values, branch directions and per-call-site callee/argument
+  facts into per-thread shards.
 
 * **Tier 1 — speculative optimized, interprocedural.**  At the hotness
   threshold the runtime builds an optimized version with the
@@ -47,15 +48,54 @@ activation.
   same :class:`~repro.ir.interp.StepLimitExceeded`) on both engines
   instead of overflowing the host Python stack.
 
+Concurrency model
+=================
+
+The runtime is safe for concurrent callers (see the README's
+"Concurrency & background compilation" section for the embedder view):
+
+* **Per-execution-context state.**  Recursion fuel lives in a
+  per-thread :class:`ExecutionContext` created at the root call and
+  discarded when it unwinds — interleaved callers never charge each
+  other's budget, and no unwind path can leak a depth increment into a
+  later call.  Profiling writes go to per-thread shards.
+
+* **Atomic version installs.**  Everything a compiled tier needs (the
+  version pair, its deoptimization plans, the forward mapping, the
+  K_avail keep-alive set, the speculative flag) is built off to the
+  side as one immutable :class:`CompiledVersion` and published with a
+  single assignment under the function's lock.  Executing threads read
+  the version **once** per activation and resolve any guard failure
+  against exactly the version that raised it — there is no window in
+  which a reader can observe the pair of one version with the plans of
+  another.
+
+* **Background compilation.**  With ``EngineConfig.compile_workers >= 1``
+  the compile job runs on a bounded worker pool: the triggering call
+  (and every call racing it) keeps executing the base tier, and the
+  finished version is picked up by subsequent calls.  ``0`` keeps the
+  historical synchronous compile-then-OSR-mid-call behavior, which
+  deterministic tests rely on.  A failed background compile is sticky:
+  the stored exception re-raises on the next call of that function
+  rather than vanishing into the worker.
+
+* **Locked shared structures.**  Per-function counters, the bounded
+  continuation cache, the failure bookkeeping and the event bus are all
+  lock-protected; locks are never held across user-code execution or
+  subscriber callbacks.
+
 The runtime is deliberately small: its purpose is to demonstrate and
 test end-to-end transitions, not to be fast.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 import warnings
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.frames import DeoptPlan, FrameState
 from ..core.mapping import OSRMapping
@@ -63,6 +103,7 @@ from ..core.osr_trans import OSRTransDriver, VersionPair
 from ..core.osrkit import ContinuationInfo, make_continuation
 from ..engine.config import EngineConfig
 from ..engine.events import (
+    REREGISTERED,
     ContinuationCached,
     ContinuationEvicted,
     DeoptimizingOSR,
@@ -97,11 +138,13 @@ from ..passes import (
     standard_pipeline,
 )
 from .backend import ExecutionBackend, resolve_backend
-from .profile import ValueProfile
+from .profile import ShardedValueProfile
 
 __all__ = [
     "ContinuationKey",
     "CachedContinuation",
+    "CompiledVersion",
+    "ExecutionContext",
     "TieredFunction",
     "AdaptiveRuntime",
 ]
@@ -125,23 +168,75 @@ class CachedContinuation:
     hits: int = 0
 
 
-@dataclass
-class TieredFunction:
-    """Per-function state kept by the runtime."""
+@dataclass(frozen=True)
+class CompiledVersion:
+    """One installed optimized tier, complete and immutable.
 
-    base: Function
-    pair: Optional[VersionPair] = None
-    forward_mapping: Optional[OSRMapping] = None
-    backward_mapping: Optional[OSRMapping] = None
-    speculative: bool = False
+    Built entirely off to the side (possibly on a compile worker) and
+    published into :attr:`TieredFunction.version` with a single
+    assignment: an executing thread that read the version once holds a
+    consistent view — its pair, its plans, its forward mapping and its
+    keep-alive set all belong to the same build, no matter how many
+    invalidations or reinstalls happen concurrently.
+    """
+
+    pair: VersionPair
     #: Per-guard deoptimization plans (multi-frame for guards inside
     #: inlined code); the install-time coverage contract is that every
     #: guard point has one.
-    deopt_plans: Dict[ProgramPoint, DeoptPlan] = field(default_factory=dict)
+    plans: Mapping[ProgramPoint, DeoptPlan]
+    #: Mapped f_base → f_opt entry points for optimizing OSR.
+    forward_mapping: OSRMapping
     #: Registers the deopt compensations read even though they are dead
     #: in the optimized code (the paper's K_avail): the runtime must keep
     #: them alive across an optimizing OSR entry.
-    deopt_keep_alive: FrozenSet[str] = frozenset()
+    keep_alive: FrozenSet[str]
+    speculative: bool
+
+    @property
+    def optimized(self) -> Function:
+        return self.pair.optimized
+
+    @property
+    def inlined_frames(self) -> int:
+        return len(self.pair.inlined_frames())
+
+
+class ExecutionContext:
+    """Per-root-call mutable state (today: the recursion fuel).
+
+    One context exists per thread per *root* entry into
+    :meth:`AdaptiveRuntime.call`; nested calls (dispatched back through
+    the runtime by either engine) share their root's context, so the
+    depth budget still measures one logical call stack — but two
+    interleaved callers (two threads, or two successive root calls on
+    one thread) can no longer charge each other's fuel, and a context
+    dies with its root call, so no unwind path can leak depth into a
+    later call.
+    """
+
+    __slots__ = ("depth",)
+
+    def __init__(self) -> None:
+        self.depth = 0
+
+
+@dataclass
+class TieredFunction:
+    """Per-function state kept by the runtime.
+
+    Mutable fields are protected by :attr:`lock` (counters, the
+    continuation cache, failure bookkeeping, compile-pipeline flags);
+    :attr:`version` is additionally safe to *read* without the lock —
+    it only ever holds ``None`` or a complete immutable
+    :class:`CompiledVersion`, swapped with a single assignment.
+    """
+
+    base: Function
+    version: Optional[CompiledVersion] = None
+    #: Lazily built full backward mapping of the current version (the
+    #: external-invalidation path); reset on every install/invalidate.
+    backward_mapping: Optional[OSRMapping] = None
     call_count: int = 0
     osr_entries: int = 0
     osr_exits: int = 0
@@ -161,18 +256,57 @@ class TieredFunction:
     continuations: Dict[ContinuationKey, CachedContinuation] = field(
         default_factory=dict
     )
+    #: True while a compile job (sync or background) is claimed.
+    compile_inflight: bool = False
+    #: Set when the in-flight compile finishes (success or failure).
+    compile_done: Optional[threading.Event] = None
+    #: A background compile failure, re-raised on the next call.
+    compile_error: Optional[BaseException] = None
+    lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    # -------------------------------------------------------------- #
+    # Compatibility views over the installed version.
+    # -------------------------------------------------------------- #
+    @property
+    def pair(self) -> Optional[VersionPair]:
+        version = self.version
+        return version.pair if version is not None else None
+
+    @property
+    def deopt_plans(self) -> Mapping[ProgramPoint, DeoptPlan]:
+        version = self.version
+        return version.plans if version is not None else {}
+
+    @property
+    def forward_mapping(self) -> Optional[OSRMapping]:
+        version = self.version
+        return version.forward_mapping if version is not None else None
+
+    @property
+    def speculative(self) -> bool:
+        version = self.version
+        return version.speculative if version is not None else False
+
+    @property
+    def deopt_keep_alive(self) -> FrozenSet[str]:
+        version = self.version
+        return version.keep_alive if version is not None else frozenset()
 
     @property
     def optimized(self) -> Optional[Function]:
-        return self.pair.optimized if self.pair is not None else None
+        version = self.version
+        return version.optimized if version is not None else None
 
     @property
     def is_compiled(self) -> bool:
-        return self.pair is not None
+        return self.version is not None
 
     @property
     def inlined_frames(self) -> int:
-        return len(self.pair.inlined_frames()) if self.pair is not None else 0
+        version = self.version
+        return version.inlined_frames if version is not None else 0
 
 
 class AdaptiveRuntime:
@@ -191,6 +325,12 @@ class AdaptiveRuntime:
     runtime with the historical keyword arguments
     (``AdaptiveRuntime(hotness_threshold=3, ...)``) still works as a
     compatibility shim but emits a :class:`DeprecationWarning`.
+
+    One runtime may be shared by any number of threads; registration
+    (:meth:`register`/:meth:`register_module`) is the only operation
+    expected to happen before the callers start (re-registration during
+    traffic is supported but the *name switch* is the atomic unit, see
+    :meth:`register`).
     """
 
     def __init__(
@@ -222,7 +362,7 @@ class AdaptiveRuntime:
             if bus is not None
             else EventBus(RingBufferRecorder(self.config.event_buffer_size))
         )
-        self.profile = ValueProfile()
+        self.profile = ShardedValueProfile()
         self.opt_backend: ExecutionBackend = resolve_backend(
             self.config.opt_backend, step_limit=self.config.step_limit
         )
@@ -250,7 +390,10 @@ class AdaptiveRuntime:
         #: routes residual ``call`` instructions (in any tier, on any
         #: engine) back through :meth:`call`.
         self._dispatchers: Dict[str, NativeFunction] = {}
-        self._depth = 0
+        self._tls = threading.local()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     # Config-derived views (an explicit pipeline overrides speculation;
@@ -263,6 +406,11 @@ class AdaptiveRuntime:
     @property
     def inline(self) -> bool:
         return self.config.effective_inline
+
+    @property
+    def background_compile(self) -> bool:
+        """Whether compilation runs on the worker pool (off the hot path)."""
+        return self.config.compile_workers >= 1
 
     @property
     def events(self) -> List[Tuple[str, str, Optional[ProgramPoint]]]:
@@ -282,21 +430,115 @@ class AdaptiveRuntime:
         self.bus.publish(event)
 
     # ------------------------------------------------------------------ #
+    # Worker-pool lifecycle.
+    # ------------------------------------------------------------------ #
+    def _ensure_executor(self) -> Optional[ThreadPoolExecutor]:
+        with self._executor_lock:
+            if self._closed:
+                return None
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.config.compile_workers,
+                    thread_name_prefix="repro-compile",
+                )
+            return self._executor
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Stop the compile worker pool (idempotent).
+
+        With ``wait=True`` any in-flight compile finishes (and publishes)
+        first.  Functions keep executing in whatever tier they reached;
+        new compile claims after shutdown fall back to the base tier.
+        """
+        with self._executor_lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "AdaptiveRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def wait_for_compilation(
+        self, name: Optional[str] = None, *, timeout: Optional[float] = None
+    ) -> bool:
+        """Block until in-flight compiles (of ``name``, or all) finish.
+
+        ``timeout`` is one shared budget for the whole wait, not a
+        per-function allowance.  Returns ``False`` on timeout.  Only
+        waits for compiles already claimed — it does not make anything
+        hot.  A background compile failure is surfaced on the next
+        :meth:`call`, not here.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        states = (
+            [self.functions[name]]
+            if name is not None
+            else list(self.functions.values())
+        )
+        for state in states:
+            with state.lock:
+                done = state.compile_done if state.compile_inflight else None
+            if done is None:
+                continue
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                return False
+            if not done.wait(remaining):
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
     # Registration and compilation.
     # ------------------------------------------------------------------ #
-    def register(self, function: Function) -> TieredFunction:
+    def register(
+        self, function: Function, *, replace: bool = False
+    ) -> TieredFunction:
+        """Register a function for tiering.
+
+        Registering a name that already exists is a loud error by
+        default: silently superseding a :class:`TieredFunction` orphans
+        its optimized version, cached continuations and statistics.
+        Pass ``replace=True`` to do it deliberately — the runtime swaps
+        in a fresh state, discards the old profile (the new body's
+        program points need not line up with the old one's), and
+        publishes :class:`~repro.engine.events.Invalidated` with
+        ``reason=REREGISTERED`` so observers (including the stats fold)
+        drop everything derived from the old version.  Calls already
+        executing the old version finish on it — the name switch is the
+        atomic unit, not the in-flight activations; events those
+        trailing activations publish land *after* the stats reset, so
+        the mechanism-vs-fold stats agreement is only guaranteed again
+        once the old version's activations have drained.
+        """
+        existing = self.functions.get(function.name)
+        if existing is not None and not replace:
+            raise ValueError(
+                f"a function named @{function.name} is already registered; "
+                f"pass replace=True to supersede it (the old version, its "
+                f"cached continuations and its statistics are discarded)"
+            )
         state = TieredFunction(base=function)
         self.functions[function.name] = state
-        dispatcher = self._make_dispatcher(function.name)
-        self._dispatchers[function.name] = dispatcher
-        self.opt_backend.register_native(function.name, dispatcher)
-        if self.base_backend is not self.opt_backend:
-            self.base_backend.register_native(function.name, dispatcher)
+        if existing is not None:
+            self.profile.discard(function.name)
+            self._publish(Invalidated(function.name, None, reason=REREGISTERED))
+        if function.name not in self._dispatchers:
+            dispatcher = self._make_dispatcher(function.name)
+            self._dispatchers[function.name] = dispatcher
+            self.opt_backend.register_native(function.name, dispatcher)
+            if self.base_backend is not self.opt_backend:
+                self.base_backend.register_native(function.name, dispatcher)
         return state
 
-    def register_module(self, module: Module) -> List[TieredFunction]:
+    def register_module(
+        self, module: Module, *, replace: bool = False
+    ) -> List[TieredFunction]:
         """Register every function of a module for independent tiering."""
-        return [self.register(function) for function in module]
+        return [self.register(function, replace=replace) for function in module]
 
     def _make_dispatcher(self, name: str) -> NativeFunction:
         def dispatch(args: List[int], memory: Memory) -> int:
@@ -309,72 +551,176 @@ class AdaptiveRuntime:
         state = self.functions.get(name)
         return state.base if state is not None else None
 
-    def _compile(self, state: TieredFunction) -> None:
-        """Build the optimized tier, speculatively when safely possible."""
+    def _build_version(self, state: TieredFunction) -> CompiledVersion:
+        """Build an optimized tier, speculatively when safely possible.
+
+        Pure construction: reads a merged snapshot of the per-thread
+        profile shards, never mutates the published state, and may run
+        on a compile worker while request threads keep executing f_base.
+        """
         config = self.config
         if self.speculate:
-            caller_profile = self.profile.function(state.base.name)
+            snapshot = self.profile.merged()
+            caller_profile = snapshot.function(state.base.name)
+            with state.lock:
+                exclude = frozenset(state.refuted_reasons)
             if self.inline:
                 merged = caller_profile.clone()
                 pipeline = interprocedural_pipeline(
                     caller_profile,
                     merged,
                     resolve=self._resolve_base,
-                    callee_profile=self.profile.function,
+                    callee_profile=snapshot.function,
                     min_samples=config.min_samples,
                     min_ratio=config.min_ratio,
                     min_site_calls=config.inline_min_calls,
                     max_callee_size=config.max_callee_size,
                     max_inline_depth=config.max_inline_depth,
-                    exclude=state.refuted_reasons,
+                    exclude=exclude,
                 )
             else:
                 pipeline = speculative_pipeline(
                     caller_profile,
                     min_samples=config.min_samples,
                     min_ratio=config.min_ratio,
-                    exclude=state.refuted_reasons,
+                    exclude=exclude,
                 )
             pair = OSRTransDriver(pipeline).run(state.base)
             plans, uncovered = pair.deopt_plans(config.mode)
             if not uncovered:
-                state.pair = pair
-                state.deopt_plans = plans
-                state.speculative = bool(pair.guard_points())
-                state.forward_mapping = pair.forward_mapping(config.mode)
                 keep_alive: FrozenSet[str] = frozenset()
                 for plan in plans.values():
                     keep_alive |= plan.keep_alive()
-                state.deopt_keep_alive = keep_alive
-                self._publish_tier_up(state)
-                return
+                return CompiledVersion(
+                    pair=pair,
+                    plans=plans,
+                    forward_mapping=pair.forward_mapping(config.mode),
+                    keep_alive=keep_alive,
+                    speculative=bool(pair.guard_points()),
+                )
             # Some guard cannot deoptimize: discard the speculative build.
-            self._publish(
-                SpeculationRejected(state.base.name, uncovered[0])
-            )
+            self._publish(SpeculationRejected(state.base.name, uncovered[0]))
         pipeline = (
             list(config.passes) if config.passes is not None else standard_pipeline()
         )
-        state.pair = OSRTransDriver(pipeline).run(state.base)
-        state.speculative = False
-        state.forward_mapping = state.pair.forward_mapping(config.mode)
-        plans, _ = state.pair.deopt_plans(config.mode)
-        state.deopt_plans = plans
-        self._publish_tier_up(state)
+        pair = OSRTransDriver(pipeline).run(state.base)
+        plans, _ = pair.deopt_plans(config.mode)
+        return CompiledVersion(
+            pair=pair,
+            plans=plans,
+            forward_mapping=pair.forward_mapping(config.mode),
+            keep_alive=frozenset(),
+            speculative=False,
+        )
 
-    def _publish_tier_up(self, state: TieredFunction) -> None:
-        assert state.pair is not None
+    def _install(self, state: TieredFunction, version: CompiledVersion) -> None:
+        """Atomically publish a finished version into the tier table."""
+        # Pre-build the backend artifact on the compiling thread so the
+        # published version is ready to *run*: without this, the first
+        # optimized call would pay the closure lowering on the request
+        # path — exactly the stall background compilation exists to
+        # remove.  (Synchronous mode merely moves the cost within the
+        # triggering call.)
+        self.opt_backend.prepare(version.optimized)
+        with state.lock:
+            if self.functions.get(state.base.name) is not state:
+                return  # superseded by a re-registration while compiling
+            state.version = version
+            state.backward_mapping = None
+            state.failures_at = {}
         self._publish(
             TierUp(
                 state.base.name,
-                speculative=state.speculative,
-                guards=len(state.pair.guard_points()),
-                inlined_frames=state.inlined_frames,
+                speculative=version.speculative,
+                guards=len(version.pair.guard_points()),
+                inlined_frames=version.inlined_frames,
             )
         )
 
+    def _compile_now(self, state: TieredFunction, *, sticky_errors: bool) -> None:
+        """Run one claimed compile job to completion (build + publish).
+
+        The caller must hold the compile claim (``compile_inflight``).
+        With ``sticky_errors`` a failure is stored on the state and
+        re-raised on the function's next call — the background pipeline
+        must never swallow a compiler bug silently.
+        """
+        try:
+            version = self._build_version(state)
+            self._install(state, version)
+        except BaseException as exc:
+            if sticky_errors:
+                with state.lock:
+                    state.compile_error = exc
+            raise
+        finally:
+            with state.lock:
+                state.compile_inflight = False
+                done, state.compile_done = state.compile_done, None
+            if done is not None:
+                done.set()
+
+    def _submit_compile(self, state: TieredFunction) -> None:
+        """Hand a claimed compile job to the worker pool."""
+        executor = self._ensure_executor()
+        if executor is None:
+            self._release_compile_claim(state)
+            return
+
+        def job() -> None:
+            try:
+                self._compile_now(state, sticky_errors=True)
+            except BaseException:
+                pass  # stored as compile_error; re-raised on the next call
+
+        try:
+            executor.submit(job)
+        except RuntimeError:  # pool shut down between claim and submit
+            self._release_compile_claim(state)
+
+    def _release_compile_claim(self, state: TieredFunction) -> None:
+        with state.lock:
+            state.compile_inflight = False
+            done, state.compile_done = state.compile_done, None
+        if done is not None:
+            done.set()
+
+    def ensure_compiled(self, name: str) -> CompiledVersion:
+        """The installed version of ``name``, compiling (and waiting) if needed."""
+        return self._ensure_compiled_state(name)[1]
+
+    def _ensure_compiled_state(
+        self, name: str
+    ) -> Tuple[TieredFunction, CompiledVersion]:
+        """The current state *and* its installed version, as a matched pair.
+
+        The state is re-fetched by name on every loop turn: a
+        ``register(replace=True)`` can supersede the TieredFunction
+        mid-wait, in which case installs against the old state are
+        refused — looping on the stale object would claim, build and be
+        refused forever.
+        """
+        while True:
+            state = self.functions[name]
+            with state.lock:
+                version = state.version
+                if version is not None:
+                    return state, version
+                if state.compile_error is not None:
+                    raise state.compile_error
+                if not state.compile_inflight:
+                    state.compile_inflight = True
+                    state.compile_done = threading.Event()
+                    done = None
+                else:
+                    done = state.compile_done
+            if done is None:
+                self._compile_now(state, sticky_errors=self.background_compile)
+            else:
+                done.wait()
+
     def _osr_entry_candidates(
-        self, state: TieredFunction
+        self, state: TieredFunction, version: CompiledVersion
     ) -> Tuple[List[ProgramPoint], List[ProgramPoint]]:
         """Mapped, pause-capable OSR entry points of f_base (+ loop subset).
 
@@ -384,7 +730,6 @@ class AdaptiveRuntime:
         executes as one parallel step before ``break_at`` checks, so the
         interpreter can never pause there.
         """
-        assert state.forward_mapping is not None and state.pair is not None
         from ..cfg.graph import ControlFlowGraph
         from ..cfg.loops import find_loops
         from ..ir.instructions import Phi
@@ -394,7 +739,7 @@ class AdaptiveRuntime:
         loop_blocks = {label for loop in loops for label in loop.body}
         candidates = [
             point
-            for point in state.forward_mapping.domain()
+            for point in version.forward_mapping.domain()
             if isinstance(point, ProgramPoint)
             and not isinstance(state.base.instruction_at(point), Phi)
         ]
@@ -414,20 +759,28 @@ class AdaptiveRuntime:
         """Call a registered function, applying the tiering policy.
 
         Nested calls (from either engine) re-enter here through the
-        per-function dispatchers, so the depth accounting below is the
-        *backend-independent* recursion fuel of the whole module.
+        per-function dispatchers and share the thread's root
+        :class:`ExecutionContext`, so the depth accounting below is the
+        *backend-independent* recursion fuel of one logical call stack —
+        never shared between threads or across root calls.
         """
-        self._depth += 1
-        if self._depth > self.config.max_call_depth:
-            self._depth -= 1
-            raise StepLimitExceeded(
-                f"call depth exceeded the budget of {self.config.max_call_depth} "
-                f"activations (at @{name})"
-            )
+        context = getattr(self._tls, "context", None)
+        root = context is None
+        if root:
+            context = ExecutionContext()
+            self._tls.context = context
+        context.depth += 1
         try:
+            if context.depth > self.config.max_call_depth:
+                raise StepLimitExceeded(
+                    f"call depth exceeded the budget of "
+                    f"{self.config.max_call_depth} activations (at @{name})"
+                )
             return self._call_tiered(name, args, memory)
         finally:
-            self._depth -= 1
+            context.depth -= 1
+            if root:
+                self._tls.context = None
 
     def _call_tiered(
         self,
@@ -436,27 +789,52 @@ class AdaptiveRuntime:
         memory: Optional[Memory],
     ) -> ExecutionResult:
         state = self.functions[name]
-        state.call_count += 1
-
-        # Hot enough (per the policy) and not yet compiled: compile now
-        # and OSR into the optimized code mid-execution of this very call.
-        if not state.is_compiled and self.policy.should_compile(state, self.config):
-            self._compile(state)
-            assert state.pair is not None and state.forward_mapping is not None
-            candidates, loop_points = self._osr_entry_candidates(state)
-            osr_point = self.policy.select_osr_point(
-                state, candidates, loop_points, self.config
+        with state.lock:
+            state.call_count += 1
+            error = state.compile_error
+            claimed = (
+                error is None
+                and state.version is None
+                and not state.compile_inflight
+                and self.policy.should_compile(state, self.config)
             )
-            if osr_point is not None and osr_point not in candidates:
-                raise ValueError(
-                    f"policy selected OSR point {osr_point}, which is not a "
-                    f"mapped pause-capable point of @{name}"
-                )
-            if osr_point is not None:
-                return self._call_with_osr(state, args, memory, osr_point)
+            if claimed:
+                state.compile_inflight = True
+                state.compile_done = threading.Event()
+        if error is not None:
+            raise error
 
-        if state.is_compiled:
-            return self._run_optimized(state, args, memory)
+        # Hot enough (per the policy) and not yet compiled: in synchronous
+        # mode compile now and OSR into the optimized code mid-execution
+        # of this very call; in background mode submit the job and keep
+        # this call (and everything racing it) in the base tier until the
+        # finished version is published.
+        if claimed:
+            if self.background_compile:
+                self._submit_compile(state)
+            else:
+                self._compile_now(state, sticky_errors=False)
+                version = state.version
+                if version is not None:
+                    candidates, loop_points = self._osr_entry_candidates(
+                        state, version
+                    )
+                    osr_point = self.policy.select_osr_point(
+                        state, candidates, loop_points, self.config
+                    )
+                    if osr_point is not None and osr_point not in candidates:
+                        raise ValueError(
+                            f"policy selected OSR point {osr_point}, which is "
+                            f"not a mapped pause-capable point of @{name}"
+                        )
+                    if osr_point is not None:
+                        return self._call_with_osr(
+                            state, version, args, memory, osr_point
+                        )
+
+        version = state.version
+        if version is not None:
+            return self._run_optimized(state, version, args, memory)
         return self.base_backend.run(
             state.base, args, memory=memory, profiler=self.profile
         )
@@ -464,26 +842,26 @@ class AdaptiveRuntime:
     def _run_optimized(
         self,
         state: TieredFunction,
+        version: CompiledVersion,
         args: Sequence[int],
         memory: Optional[Memory],
     ) -> ExecutionResult:
-        assert state.pair is not None
-        # Capture the version this activation runs: with recursion, an
-        # inner activation's guard failure may invalidate and replace the
-        # installed version while this one is still on the stack — its
-        # own failure must resolve against the plans of the version that
-        # actually raised it.
-        pair, plans = state.pair, state.deopt_plans
+        # ``version`` was read exactly once by the caller: with recursion
+        # or concurrency, another activation's guard failure may
+        # invalidate and replace the installed version while this one is
+        # on the stack — its own failure must resolve against the plans
+        # of the version that actually raised it.
         try:
-            return self.opt_backend.run(pair.optimized, args, memory=memory)
+            return self.opt_backend.run(version.optimized, args, memory=memory)
         except GuardFailure as failure:
-            return self._handle_guard_failure(state, failure, pair, plans)
+            return self._handle_guard_failure(state, failure, version)
 
     def _break_interpreter(self) -> Interpreter:
         """An interpreter whose calls dispatch through the runtime.
 
         Used for the pause-at-a-point paths (``break_at``), which only
         the interpreter supports; module callees still tier normally.
+        A fresh instance per use: nothing is shared across threads.
         """
         return Interpreter(
             step_limit=self.config.step_limit,
@@ -494,16 +872,16 @@ class AdaptiveRuntime:
     def _call_with_osr(
         self,
         state: TieredFunction,
+        version: CompiledVersion,
         args: Sequence[int],
         memory: Optional[Memory],
         osr_point: ProgramPoint,
     ) -> ExecutionResult:
-        assert state.pair is not None and state.forward_mapping is not None
         interpreter = self._break_interpreter()
         paused = interpreter.run(state.base, args, memory=memory, break_at=osr_point)
         if paused.stopped_at is None:
             return paused  # the loop never ran; nothing to transfer
-        entry = state.forward_mapping.lookup(osr_point)
+        entry = version.forward_mapping.lookup(osr_point)
         assert entry is not None
 
         def finish_in_base() -> ExecutionResult:
@@ -520,12 +898,12 @@ class AdaptiveRuntime:
         # Entering speculative code mid-flight skips every guard that sits
         # before the landing point; their assumptions must be validated
         # against the in-flight state instead of silently trusted.
-        if state.speculative and not self._speculation_holds(
-            state, paused.env, entry.target
+        if version.speculative and not self._speculation_holds(
+            version, paused.env, entry.target
         ):
             return finish_in_base()
 
-        landing_env = state.forward_mapping.transfer(osr_point, paused.env)
+        landing_env = version.forward_mapping.transfer(osr_point, paused.env)
 
         # K_avail support: deopt compensations may read values that are
         # dead at the landing point of the *forward* transition; the
@@ -533,33 +911,33 @@ class AdaptiveRuntime:
         # not reconstructible from the paused base state, entering the
         # optimized code would make a later guard failure unrecoverable —
         # finish this call in f_base instead.
-        for name in sorted(state.deopt_keep_alive):
+        for name in sorted(version.keep_alive):
             if name in landing_env:
                 continue
             if name not in paused.env:
                 return finish_in_base()
             landing_env[name] = paused.env[name]
 
-        state.osr_entries += 1
+        with state.lock:
+            state.osr_entries += 1
         self._publish(OptimizingOSR(state.base.name, osr_point))
-        pair, plans = state.pair, state.deopt_plans
         try:
             # The backend's OSR entry stub maps the landing ProgramPoint
             # into its own dispatch (a resume for the interpreter, a
             # compiled stub entering mid-loop for the closure backend).
             return self.opt_backend.run_from(
-                pair.optimized,
+                version.optimized,
                 entry.target,
                 landing_env,
                 memory=paused.memory,
                 previous_block=paused.previous_block,
             )
         except GuardFailure as failure:
-            return self._handle_guard_failure(state, failure, pair, plans)
+            return self._handle_guard_failure(state, failure, version)
 
     def _speculation_holds(
         self,
-        state: TieredFunction,
+        version: CompiledVersion,
         env: Dict[str, int],
         landing: ProgramPoint,
     ) -> bool:
@@ -584,11 +962,10 @@ class AdaptiveRuntime:
         inlined guard always rejects the mid-flight entry — fresh calls
         still run the inlined version from its entry.
         """
-        assert state.pair is not None
         from ..cfg.dominance import DominatorTree
         from ..cfg.graph import ControlFlowGraph
 
-        optimized = state.pair.optimized
+        optimized = version.optimized
         domtree = DominatorTree(ControlFlowGraph(optimized))
         for point, inst in optimized.instructions():
             if not isinstance(inst, Guard):
@@ -609,7 +986,12 @@ class AdaptiveRuntime:
     # ------------------------------------------------------------------ #
     # Guard failure: multi-frame deopt + dispatched continuations.
     # ------------------------------------------------------------------ #
-    def _record_failure(self, state: TieredFunction, failure: GuardFailure) -> None:
+    def _record_failure(
+        self,
+        state: TieredFunction,
+        failure: GuardFailure,
+        version: CompiledVersion,
+    ) -> None:
         """Refute a speculation that keeps failing and schedule a recompile.
 
         A *multi-frame* guard that fails ``invalidate_after`` times was
@@ -622,42 +1004,47 @@ class AdaptiveRuntime:
         failures are served by the Deoptless dispatch cache instead and
         never invalidate.)
 
+        Only the version that actually failed is discarded: if a
+        concurrent activation already invalidated it (or a newer build
+        was installed meanwhile), the refuted reason is still recorded
+        for the next compilation but nothing else changes.
+
         Known limitation: reasons embed the inliner's frame tags, and a
         recompile in which the *set* of hot sites grew can renumber the
         tags, so a refuted reason may fail to match once and cost one
         extra refute/recompile round before the matching string is
         recorded — a transient performance hiccup, never unsoundness.
         """
-        count = state.failures_at.get(failure.point, 0) + 1
-        state.failures_at[failure.point] = count
+        with state.lock:
+            count = state.failures_at.get(failure.point, 0) + 1
+            state.failures_at[failure.point] = count
         if failure.reason is None or not self.policy.should_invalidate(
             state, failure.point, count, self.config
         ):
             return
-        state.refuted_reasons.add(failure.reason)
-        state.invalidations += 1
+        with state.lock:
+            state.refuted_reasons.add(failure.reason)
+            if state.version is not version:
+                return  # already invalidated or replaced concurrently
+            state.invalidations += 1
+            state.version = None
+            state.backward_mapping = None
+            state.failures_at = {}
+            state.continuations = {}
         self._publish(
             Invalidated(state.base.name, failure.point, reason=failure.reason)
         )
-        state.pair = None
-        state.forward_mapping = None
-        state.backward_mapping = None
-        state.deopt_plans = {}
-        state.deopt_keep_alive = frozenset()
-        state.speculative = False
-        state.failures_at = {}
-        state.continuations = {}
 
     def _handle_guard_failure(
         self,
         state: TieredFunction,
         failure: GuardFailure,
-        pair: VersionPair,
-        plans: Dict[ProgramPoint, DeoptPlan],
+        version: CompiledVersion,
     ) -> ExecutionResult:
-        state.guard_failures += 1
-        plan = plans.get(failure.point)
-        if plan is None:  # pragma: no cover - _compile guarantees coverage
+        with state.lock:
+            state.guard_failures += 1
+        plan = version.plans.get(failure.point)
+        if plan is None:  # pragma: no cover - install guarantees coverage
             raise RuntimeError(
                 f"guard at {failure.point} fired with no deoptimization plan"
             )
@@ -670,7 +1057,7 @@ class AdaptiveRuntime:
             )
         )
         if plan.is_multiframe:
-            return self._unwind_multiframe(state, failure, plan)
+            return self._unwind_multiframe(state, failure, plan, version)
 
         frame = plan.frames[0]
         landing_env = frame.transfer(failure.env)
@@ -681,14 +1068,20 @@ class AdaptiveRuntime:
             else None
         )
 
-        cached = state.continuations.get(key)
+        with state.lock:
+            cached = state.continuations.get(key)
+            if cached is not None:
+                # Dispatched OSR: jump straight into the specialized
+                # continuation instead of re-deoptimizing through f_base.
+                cached.hits += 1
+                hits = cached.hits
+                state.dispatch_hits += 1
+            else:
+                state.dispatch_misses += 1
+                state.osr_exits += 1
         if cached is not None:
-            # Dispatched OSR: jump straight into the specialized
-            # continuation instead of re-deoptimizing through f_base.
-            cached.hits += 1
-            state.dispatch_hits += 1
             self._publish(
-                DispatchedOSR(state.base.name, failure.point, hits=cached.hits)
+                DispatchedOSR(state.base.name, failure.point, hits=hits)
             )
             # Strict lookup: a parameter missing from both environments
             # is a state-transfer bug that must fail loudly, not run the
@@ -702,8 +1095,6 @@ class AdaptiveRuntime:
             )
 
         # Slow path: classic deoptimizing OSR back into f_base.
-        state.dispatch_misses += 1
-        state.osr_exits += 1
         self._publish(
             DeoptimizingOSR(state.base.name, failure.point, from_guard=True)
         )
@@ -718,30 +1109,42 @@ class AdaptiveRuntime:
         # Pay the continuation build off the critical path of *this*
         # failure; the next failure with the same shape dispatches.  Skip
         # the cache when the installed version is no longer the one that
-        # failed (an inner activation invalidated it): a continuation
+        # failed (another activation invalidated it): a continuation
         # specialized against a stale version must not serve a new one.
         # Plans with value seeds are also excluded: a seeded variable is
         # rebuilt only by the plan's transfer, which the baked-in
         # continuation entry cannot reproduce — those guards always take
         # the slow path.  The policy gets the final (non-correctness)
-        # veto, and the cache is bounded: oldest entry out first.
+        # veto, and the cache is bounded: oldest entry out first.  The
+        # insert re-checks version identity and key absence under the
+        # lock, so concurrent failures of the same shape cache (and
+        # publish) exactly once.
         if (
-            state.pair is pair
+            state.version is version
             and not frame.param_seeds
             and self.policy.should_cache_continuation(
                 state, failure.point, plan, self.config
             )
         ):
-            state.continuations[key] = CachedContinuation(
-                self._build_continuation(state, failure.point, plan, pair)
-            )
-            self._publish(ContinuationCached(state.base.name, failure.point))
-            while len(state.continuations) > self.config.continuation_cache_size:
-                evicted_key = next(iter(state.continuations))
-                del state.continuations[evicted_key]
-                self._publish(
-                    ContinuationEvicted(state.base.name, evicted_key[0])
+            continuation = self._build_continuation(state, failure.point, plan, version)
+            evicted: List[ProgramPoint] = []
+            with state.lock:
+                stored = (
+                    state.version is version and key not in state.continuations
                 )
+                if stored:
+                    state.continuations[key] = CachedContinuation(continuation)
+                    while (
+                        len(state.continuations)
+                        > self.config.continuation_cache_size
+                    ):
+                        evicted_key = next(iter(state.continuations))
+                        del state.continuations[evicted_key]
+                        evicted.append(evicted_key[0])
+            if stored:
+                self._publish(ContinuationCached(state.base.name, failure.point))
+                for point in evicted:
+                    self._publish(ContinuationEvicted(state.base.name, point))
         return result
 
     def _unwind_multiframe(
@@ -749,6 +1152,7 @@ class AdaptiveRuntime:
         state: TieredFunction,
         failure: GuardFailure,
         plan: DeoptPlan,
+        version: CompiledVersion,
     ) -> ExecutionResult:
         """Materialize and resume the reconstructed virtual call stack.
 
@@ -759,12 +1163,13 @@ class AdaptiveRuntime:
         return value is bound into the enclosing frame's call
         destination before that frame resumes past its call site.
         """
-        state.osr_exits += 1
-        state.multiframe_deopts += 1
+        with state.lock:
+            state.osr_exits += 1
+            state.multiframe_deopts += 1
         self._publish(
             MultiFrameDeopt(state.base.name, failure.point, frames=len(plan.frames))
         )
-        self._record_failure(state, failure)
+        self._record_failure(state, failure, version)
         environments = [frame.transfer(failure.env) for frame in plan.frames]
         failure.frames = [
             FrameState(
@@ -804,11 +1209,11 @@ class AdaptiveRuntime:
         state: TieredFunction,
         point: ProgramPoint,
         plan: DeoptPlan,
-        pair: VersionPair,
+        version: CompiledVersion,
     ) -> ContinuationInfo:
         """Specialize an f_base continuation for one guard's deopt target."""
         frame = plan.frames[0]
-        live_at_source = sorted(pair.opt_view.live_in(point))
+        live_at_source = sorted(version.pair.opt_view.live_in(point))
         info = make_continuation(
             state.base,
             frame.target,
@@ -832,15 +1237,23 @@ class AdaptiveRuntime:
         only needed by the external-invalidation path
         (:meth:`deoptimize_at`) and by clients inspecting deoptimizable
         points — it is built lazily on first use (compiling the function
-        first if necessary).
+        first if necessary, waiting for an in-flight background compile).
         """
-        state = self.functions[name]
-        if not state.is_compiled:
-            self._compile(state)
-        assert state.pair is not None
-        if state.backward_mapping is None:
-            state.backward_mapping = state.pair.backward_mapping(self.config.mode)
-        return state.backward_mapping
+        state, version = self._ensure_compiled_state(name)
+        return self._backward_mapping(state, version)
+
+    def _backward_mapping(
+        self, state: TieredFunction, version: CompiledVersion
+    ) -> OSRMapping:
+        """The backward mapping of exactly ``version`` (cached while installed)."""
+        with state.lock:
+            if state.version is version and state.backward_mapping is not None:
+                return state.backward_mapping
+        mapping = version.pair.backward_mapping(self.config.mode)
+        with state.lock:
+            if state.version is version:
+                state.backward_mapping = mapping
+        return mapping
 
     def deoptimize_at(
         self,
@@ -857,9 +1270,12 @@ class AdaptiveRuntime:
         Raises :class:`KeyError` when ``point`` has no backward mapping
         entry — deoptimization is simply not supported there.
         """
-        state = self.functions[name]
-        mapping = self.deopt_mapping(name)
-        assert state.pair is not None
+        # Resolve the state, the version and its mapping as ONE matched
+        # set: resolving the mapping through a second by-name lookup
+        # could pair this version's paused environment with a
+        # concurrently rebuilt version's register mapping.
+        state, version = self._ensure_compiled_state(name)
+        mapping = self._backward_mapping(state, version)
         entry = mapping.lookup(point)
         if entry is None:
             raise KeyError(f"deoptimization not supported at {point}")
@@ -870,17 +1286,16 @@ class AdaptiveRuntime:
             # of the optimized tier's backend.
             paused = Interpreter(
                 step_limit=self.config.step_limit, natives=self._dispatchers
-            ).run(state.pair.optimized, args, memory=memory, break_at=point)
+            ).run(version.optimized, args, memory=memory, break_at=point)
         except GuardFailure as failure:
             # A speculation failed before reaching the requested point;
             # the guard's own deoptimization wins.
-            return self._handle_guard_failure(
-                state, failure, state.pair, state.deopt_plans
-            )
+            return self._handle_guard_failure(state, failure, version)
         if paused.stopped_at is None:
             return paused
         landing_env = mapping.transfer(point, paused.env)
-        state.osr_exits += 1
+        with state.lock:
+            state.osr_exits += 1
         self._publish(DeoptimizingOSR(name, point, from_guard=False))
         return self.base_backend.run_from(
             state.base,
@@ -901,18 +1316,21 @@ class AdaptiveRuntime:
         shows up as a stats divergence instead of passing silently.
         """
         state = self.functions[name]
-        return {
-            "calls": state.call_count,
-            "compiled": int(state.is_compiled),
-            "speculative": int(state.speculative),
-            "guards": len(state.pair.guard_points()) if state.pair else 0,
-            "inlined_frames": state.inlined_frames,
-            "osr_entries": state.osr_entries,
-            "osr_exits": state.osr_exits,
-            "guard_failures": state.guard_failures,
-            "multiframe_deopts": state.multiframe_deopts,
-            "invalidations": state.invalidations,
-            "dispatch_hits": state.dispatch_hits,
-            "dispatch_misses": state.dispatch_misses,
-            "continuations": len(state.continuations),
-        }
+        with state.lock:
+            version = state.version
+            return {
+                "calls": state.call_count,
+                "compiled": int(version is not None),
+                "speculative": int(version.speculative if version else False),
+                "guards": len(version.pair.guard_points()) if version else 0,
+                "inlined_frames": version.inlined_frames if version else 0,
+                "osr_entries": state.osr_entries,
+                "osr_exits": state.osr_exits,
+                "guard_failures": state.guard_failures,
+                "multiframe_deopts": state.multiframe_deopts,
+                "invalidations": state.invalidations,
+                "dispatch_hits": state.dispatch_hits,
+                "dispatch_misses": state.dispatch_misses,
+                "continuations": len(state.continuations),
+            }
+
