@@ -49,6 +49,15 @@ Emits ``BENCH_speculation.json`` with three kinds of metrics:
   vs with a background worker — background compilation must shave the
   compile stall off the request path (``--stall-floor``, default 1.2).
 
+* **warm starts** — ``cold_vs_warm_start`` per call-heavy kernel: the
+  worst single-call latency inside a cold engine's warmup window
+  (profiled base-tier calls plus the synchronous tier-up stall) versus
+  the same window on an engine opened against a populated artifact
+  store (compiled tiers re-installed before the first call, zero
+  ``TierUp`` events — asserted during recording).  The check enforces a
+  hard floor (``--warm-floor``, default 2.0) on at least one kernel:
+  persistence must visibly erase re-warming.
+
 Usage::
 
     python benchmarks/record.py                      # record a fresh file
@@ -92,6 +101,7 @@ from repro.vm import (  # noqa: E402
 from repro.workloads import (  # noqa: E402
     CALL_KERNEL_ENTRIES,
     CALL_KERNEL_NAMES,
+    CALL_KERNEL_SOURCES,
     LOOP_KERNEL_NAMES,
     STRAIGHT_LINE_NAMES,
     benchmark_arguments,
@@ -667,6 +677,101 @@ def _compile_stall() -> dict:
     }
 
 
+#: Measurement rounds for the warm-start metric; like the compile-stall
+#: metric, the minimum of the per-round worst-call latencies is kept on
+#: each side so a transient scheduler hiccup cannot fake (or hide) the
+#: systematic warmup cost.
+WARM_START_ROUNDS = 4
+
+#: Calls measured per engine in the warm-start metric (the cold side's
+#: tier-up lands inside this window at hotness_threshold=3).
+WARM_START_CALLS = 12
+
+
+def _early_worst_call(engine, entry: str, name: str) -> float:
+    """Worst single-call latency across an engine's first calls.
+
+    Call 0 is excluded on both sides — it pays mode-independent
+    cold-start costs (allocator warmup, import side effects), never the
+    tier-up stall, and its noise would wash the cold/warm ratio toward 1.
+    """
+    args, memory = call_kernel_arguments(name, size=STALL_KERNEL_SIZE)
+    worst = 0.0
+    for index in range(WARM_START_CALLS):
+        start = time.perf_counter()
+        engine.call(entry, args, memory=memory)
+        elapsed = time.perf_counter() - start
+        if index > 0:
+            worst = max(worst, elapsed)
+    return worst
+
+
+def _cold_vs_warm_start() -> dict:
+    """Worst early-call latency: cold engine vs store-hydrated engine.
+
+    The cold side pays profiling-tier calls plus the synchronous tier-up
+    stall inside its warmup window; the warm side opens an
+    :class:`~repro.store.persist.ArtifactStore` a previous engine
+    published to, re-installs the compiled tier before the first call
+    (zero ``TierUp`` events — asserted here, not just in the tests), and
+    so never leaves the optimized steady state.  The ``--warm-floor``
+    gate (default 2x) requires at least one kernel's ratio to clear the
+    floor: persistence must visibly erase re-warming, not just round-trip.
+    """
+    import tempfile
+
+    from repro.engine import TierUp
+
+    config = EngineConfig(
+        hotness_threshold=3,
+        min_samples=2,
+        inline_min_calls=2,
+        opt_backend="compiled",
+    )
+    ratios: dict = {}
+    restored: dict = {}
+    with tempfile.TemporaryDirectory(prefix="repro-warmstart-") as tmp:
+        for name in CONCURRENT_KERNELS:
+            entry = CALL_KERNEL_ENTRIES[name]
+            source = CALL_KERNEL_SOURCES[name]
+            store_root = str(Path(tmp) / name)
+
+            cold_worst = None
+            for round_index in range(WARM_START_ROUNDS):
+                engine = Engine.from_source(source, config=config)
+                worst = _early_worst_call(engine, entry, name)
+                cold_worst = worst if cold_worst is None else min(cold_worst, worst)
+                if round_index == 0:
+                    engine.save(store_root)  # seed the store once
+
+            warm_worst = None
+            for _ in range(WARM_START_ROUNDS):
+                engine = Engine.open(source, store_root, config=config)
+                if entry not in engine.restored_functions:
+                    raise AssertionError(
+                        f"{name}: @{entry} was not restored from the store"
+                    )
+                worst = _early_worst_call(engine, entry, name)
+                tier_ups = [e for e in engine.events if isinstance(e, TierUp)]
+                if tier_ups:
+                    raise AssertionError(
+                        f"{name}: warm-started engine published {len(tier_ups)} "
+                        f"TierUp event(s); hydration should have pre-installed "
+                        f"the compiled tier"
+                    )
+                warm_worst = worst if warm_worst is None else min(warm_worst, worst)
+
+            ratios[name] = round(cold_worst / warm_worst, 4)
+            restored[name] = sorted(engine.restored_functions)
+    return {
+        "cold_vs_warm_start": ratios,
+        "best_warm_ratio": round(max(ratios.values()), 4),
+        "min_warm_ratio": round(min(ratios.values()), 4),
+        "warm_restored": restored,
+        "warmup_calls": WARM_START_CALLS,
+    }
+
+
 def record(repeats: int) -> dict:
     return {
         "kernel": KERNEL,
@@ -676,6 +781,7 @@ def record(repeats: int) -> dict:
         "inlining": _inlining_speedups(repeats),
         "events": _event_overhead(repeats),
         "concurrency": {**_concurrent_throughput(), **_compile_stall()},
+        "warm_start": _cold_vs_warm_start(),
         "meta": {"repeats": repeats},
     }
 
@@ -690,8 +796,24 @@ def check(
     event_overhead_limit: float = 0.05,
     concurrent_scaling_floor: float = None,
     stall_floor: float = 1.2,
+    warm_floor: float = 2.0,
 ) -> list:
     problems = []
+
+    # Warm starts: a hard floor against the *current* recording only.
+    # At least one kernel must show the persistent store visibly erasing
+    # the warmup cost (the tier-up stall plus the profiled base-tier
+    # calls) — a round-trip that restores versions without improving the
+    # worst early call is storage, not warm start.
+    warm = current.get("warm_start", {})
+    if warm:
+        warm_ratios = warm.get("cold_vs_warm_start", {})
+        best = max(warm_ratios.values(), default=0.0)
+        if best < warm_floor:
+            problems.append(
+                f"warm start {warm_ratios}: no kernel improved the worst "
+                f"warmup call by the floor of {warm_floor}x"
+            )
 
     # Concurrency: hard floors against the *current* recording only
     # (wall-clock scaling is machine-shaped; a baseline drift band would
@@ -850,6 +972,15 @@ def main(argv=None) -> int:
             "observable win on any GIL build; quiet rounds show 2-18x)"
         ),
     )
+    parser.add_argument(
+        "--warm-floor",
+        type=float,
+        default=2.0,
+        help=(
+            "minimum accepted improvement of the worst warmup-call latency "
+            "by a store-hydrated warm start (at least one kernel must clear it)"
+        ),
+    )
     parser.add_argument("--repeats", type=int, default=30)
     parser.add_argument(
         "--check",
@@ -881,6 +1012,7 @@ def main(argv=None) -> int:
         options.event_overhead_limit,
         options.concurrent_scaling_floor,
         options.stall_floor,
+        options.warm_floor,
     )
     if problems:
         print("benchmark regression check FAILED:", file=sys.stderr)

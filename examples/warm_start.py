@@ -1,0 +1,90 @@
+"""Warm starts: a second process serves compiled code from call one.
+
+An adaptive runtime re-learns everything on every process start — the
+profiles, the speculation decisions, the optimized code.  The artifact
+store makes that state durable:
+
+1. a *cold* engine warms a call-heavy kernel the usual way (profiled
+   base-tier calls, then a tier-up with speculative inlining) and
+   publishes what it learned with ``engine.save(store)``;
+2. a *warm* engine is opened against the same store with
+   ``Engine.open(source, store)`` — the merged profile is preloaded and
+   the compiled tier re-installed before the first call, so it serves
+   optimized code immediately: zero ``TierUp`` events, a
+   ``VersionRestored`` event per function instead;
+3. the store refuses to lie: change the source and the stale artifact
+   fails loudly with a typed error instead of silently executing
+   optimized code for a function that no longer exists in that shape.
+
+Run with:  python examples/warm_start.py
+"""
+
+import tempfile
+import time
+
+from repro.engine import Engine, TierUp, VersionRestored
+from repro.store import StaleArtifactError
+from repro.workloads import CALL_KERNEL_SOURCES, call_kernel_arguments
+
+KERNEL = "helper_loop"
+
+
+def time_calls(engine, label, calls=6):
+    worst = 0.0
+    for index in range(calls):
+        args, memory = call_kernel_arguments(KERNEL, size=24)
+        start = time.perf_counter()
+        result = engine.call(KERNEL, args, memory=memory)
+        elapsed = time.perf_counter() - start
+        worst = max(worst, elapsed)
+        print(
+            f"  [{label}] call {index + 1}: result={result.value} "
+            f"tier={engine.function(KERNEL).tier} "
+            f"({elapsed * 1e3:.2f} ms)"
+        )
+    return worst
+
+
+def main() -> None:
+    source = CALL_KERNEL_SOURCES[KERNEL]
+    with tempfile.TemporaryDirectory(prefix="repro-store-") as store:
+        print("cold engine: profiles, tiers up, then publishes to the store")
+        cold = Engine.from_source(source)
+        cold_worst = time_calls(cold, "cold")
+        for key in cold.save(store):
+            print(f"  published {key}")
+
+        print("\nwarm engine: opened against the store")
+        warm = Engine.open(source, store)
+        print(f"  restored before first call: {warm.restored_functions}")
+        warm_worst = time_calls(warm, "warm")
+        tier_ups = [e for e in warm.events if isinstance(e, TierUp)]
+        restored = [e for e in warm.events if isinstance(e, VersionRestored)]
+        info = warm.function(KERNEL).version
+        print(
+            f"  TierUp events: {len(tier_ups)}  "
+            f"VersionRestored events: {len(restored)}"
+        )
+        print(
+            f"  version: tier={info.tier.value} speculative={info.speculative} "
+            f"inlined_frames={info.inlined_frames}"
+        )
+        print(
+            f"  worst call: cold {cold_worst * 1e3:.2f} ms vs "
+            f"warm {warm_worst * 1e3:.2f} ms"
+        )
+
+        print("\nstale artifacts are refused, never executed:")
+        changed = source.replace("acc + weigh(", "acc + 1 + weigh(")
+        assert changed != source
+        try:
+            Engine.open(changed, store)
+        except StaleArtifactError as error:
+            print(f"  StaleArtifactError: {error}")
+        # A rolling deploy hydrates what still matches and re-warms the rest.
+        rolling = Engine.open(changed, store, on_stale="skip")
+        print(f"  on_stale='skip' restored only: {rolling.restored_functions}")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,7 +34,9 @@ from .events import (
     RingBufferRecorder,
     RuntimeEvent,
     SpeculationRejected,
+    Tier,
     TierUp,
+    VersionRestored,
 )
 from .policy import AlwaysCompile, HotnessPolicy, NeverCompile, TieringPolicy
 from .stats import EngineStats, StatsCollector
@@ -44,7 +46,7 @@ def __getattr__(name):
     # The facade pulls in repro.vm (which itself loads repro.engine.config
     # at import time); loading it lazily keeps `import repro.vm` and
     # `import repro.engine` both cycle-free regardless of order.
-    if name in ("Engine", "FunctionHandle"):
+    if name in ("Engine", "FunctionHandle", "EngineSnapshot", "VersionInfo"):
         from . import facade
 
         return getattr(facade, name)
@@ -54,7 +56,10 @@ def __getattr__(name):
 __all__ = [
     "Engine",
     "FunctionHandle",
+    "EngineSnapshot",
+    "VersionInfo",
     "EngineConfig",
+    "Tier",
     "TieringPolicy",
     "HotnessPolicy",
     "AlwaysCompile",
@@ -63,6 +68,7 @@ __all__ = [
     "StatsCollector",
     "RuntimeEvent",
     "TierUp",
+    "VersionRestored",
     "SpeculationRejected",
     "OptimizingOSR",
     "OSREntryRejected",

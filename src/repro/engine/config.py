@@ -19,12 +19,34 @@ first use.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, fields, replace
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from ..core.reconstruct import ReconstructionMode
 
-__all__ = ["EngineConfig", "LEGACY_KWARG_FIELDS"]
+__all__ = ["EngineConfig", "LEGACY_KWARG_FIELDS", "FINGERPRINT_FIELDS"]
+
+
+#: Fields that determine *what optimized code the engine produces* — the
+#: semantic identity a persisted artifact is keyed by.  Runtime-only knobs
+#: (worker counts, buffer and cache sizes, execution fuel, backend
+#: selection) change how fast or where code runs, never what is compiled,
+#: so two engines differing only in those can safely share artifacts.
+FINGERPRINT_FIELDS: Tuple[str, ...] = (
+    "hotness_threshold",
+    "invalidate_after",
+    "speculate",
+    "min_samples",
+    "min_ratio",
+    "inline",
+    "inline_min_calls",
+    "max_callee_size",
+    "max_inline_depth",
+    "mode",
+    "passes",
+)
 
 
 #: ``AdaptiveRuntime.__init__`` legacy kwargs and the EngineConfig field
@@ -213,6 +235,53 @@ class EngineConfig:
 
     def as_dict(self) -> Dict[str, Any]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EngineConfig":
+        """Inverse of :meth:`as_dict` — ``from_dict(c.as_dict()) == c``.
+
+        Accepts JSON-shaped input too: ``mode`` may be a mode name or
+        value string, and ``passes`` any sequence.  Unknown keys raise
+        (a config dict from a newer engine must not load silently).
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown EngineConfig field(s) {unknown}; known: {sorted(known)}"
+            )
+        kwargs = dict(data)
+        mode = kwargs.get("mode")
+        if isinstance(mode, str) and not isinstance(mode, ReconstructionMode):
+            try:
+                kwargs["mode"] = ReconstructionMode(mode)
+            except ValueError:
+                kwargs["mode"] = ReconstructionMode[mode.upper()]
+        return cls(**kwargs)
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the semantically relevant fields.
+
+        The persistent artifact store keys entries by this digest, so an
+        artifact compiled under one speculation/inlining regime can never
+        hydrate into an engine configured for another.  Only
+        :data:`FINGERPRINT_FIELDS` participate: runtime-only knobs
+        (``compile_workers``, buffer sizes, fuel, backend choice) are
+        deliberately excluded so a 4-worker server can reuse what a
+        single-threaded recorder compiled.  Pass pipelines hash by class
+        name — the store cannot hash code objects, and a renamed pass
+        *should* invalidate old artifacts.
+        """
+        payload: Dict[str, Any] = {}
+        for name in FINGERPRINT_FIELDS:
+            value = getattr(self, name)
+            if name == "mode":
+                value = value.value
+            elif name == "passes" and value is not None:
+                value = [getattr(p, "__name__", None) or type(p).__name__ for p in value]
+            payload[name] = value
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
     # Derived, not stored: an explicit pipeline overrides speculation,
     # and inlining only exists inside the speculative tier.

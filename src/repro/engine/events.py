@@ -36,6 +36,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass
+from enum import Enum
 from typing import (
     Callable,
     ClassVar,
@@ -50,8 +51,10 @@ from typing import (
 from ..ir.function import ProgramPoint
 
 __all__ = [
+    "Tier",
     "RuntimeEvent",
     "TierUp",
+    "VersionRestored",
     "SpeculationRejected",
     "OptimizingOSR",
     "OSREntryRejected",
@@ -68,6 +71,22 @@ __all__ = [
     "RingBufferRecorder",
     "Subscriber",
 ]
+
+
+class Tier(str, Enum):
+    """The execution tier a function currently runs in.
+
+    Values are the historical strings (``"base"`` / ``"optimized"``), and
+    the enum derives from :class:`str`, so existing comparisons like
+    ``handle.tier == "optimized"`` keep passing while new code gets a
+    real type to switch on.
+    """
+
+    BASE = "base"
+    OPTIMIZED = "optimized"
+
+    def __str__(self) -> str:  # "base", not "Tier.BASE", in rendered events
+        return self.value
 
 
 @dataclass(frozen=True)
@@ -98,8 +117,29 @@ class TierUp(RuntimeEvent):
     speculative: bool = False
     guards: int = 0
     inlined_frames: int = 0
+    #: The tier the function landed in (always optimized for a tier-up).
+    tier: Tier = Tier.OPTIMIZED
 
     kind: ClassVar[str] = "tier-up"
+
+
+@dataclass(frozen=True)
+class VersionRestored(RuntimeEvent):
+    """A persisted compiled version was re-installed from an artifact store.
+
+    Deliberately *not* a :class:`TierUp`: a warm start serves its first
+    call from the compiled tier without ever re-warming, and clients
+    (and tests) that count tier-ups as "compilation work done in this
+    process" must see zero.  Carries the same payload so stats fold it
+    identically.
+    """
+
+    speculative: bool = False
+    guards: int = 0
+    inlined_frames: int = 0
+    tier: Tier = Tier.OPTIMIZED
+
+    kind: ClassVar[str] = "version-restored"
 
 
 @dataclass(frozen=True)
@@ -199,6 +239,8 @@ class Invalidated(RuntimeEvent):
     """
 
     reason: Optional[str] = None
+    #: The tier the function falls back to (always base after discard).
+    tier: Tier = Tier.BASE
 
     kind: ClassVar[str] = "invalidated"
 

@@ -32,7 +32,18 @@ compilation" section for the full threading model.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..frontend import compile_program
 from ..ir.function import Function, Module, ProgramPoint
@@ -40,11 +51,51 @@ from ..ir.interp import ExecutionResult, Memory
 from ..vm.profile import FunctionProfile
 from ..vm.runtime import AdaptiveRuntime, TieredFunction
 from .config import EngineConfig
-from .events import EventBus, RingBufferRecorder, RuntimeEvent, Subscriber
+from .events import EventBus, RingBufferRecorder, RuntimeEvent, Subscriber, Tier
 from .policy import TieringPolicy
 from .stats import EngineStats, StatsCollector
 
-__all__ = ["Engine", "FunctionHandle"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..store.artifacts import ArtifactKey
+    from ..store.persist import ArtifactStore, EngineSnapshot
+
+__all__ = ["Engine", "FunctionHandle", "EngineSnapshot", "VersionInfo"]
+
+#: What callers may pass wherever a store is expected.
+StoreLike = Union["ArtifactStore", str, Path]
+
+
+def __getattr__(name: str):
+    # Re-exported here so ``from repro.engine import EngineSnapshot`` works
+    # without the facade importing the store package at module load.
+    if name == "EngineSnapshot":
+        from ..store.persist import EngineSnapshot
+
+        return EngineSnapshot
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+@dataclass(frozen=True)
+class VersionInfo:
+    """A read-only description of a function's installed version.
+
+    The supported replacement for reaching through ``handle.state`` into
+    runtime internals: the current :class:`~repro.engine.events.Tier`,
+    whether the installed version speculates (and on how many guards),
+    how many frames its deopt plans reconstruct, and the
+    :class:`~repro.store.artifacts.ArtifactKey` the version would be
+    persisted under (``None`` while the function is base-tier).
+    """
+
+    tier: Tier
+    speculative: bool
+    guards: int
+    inlined_frames: int
+    artifact_key: Optional["ArtifactKey"]
+
+    @property
+    def is_compiled(self) -> bool:
+        return self.tier is Tier.OPTIMIZED
 
 
 class FunctionHandle:
@@ -76,9 +127,41 @@ class FunctionHandle:
         return self._engine.runtime.functions[self.name]
 
     @property
-    def tier(self) -> str:
-        """``"base"`` or ``"optimized"`` (the installed-version tier)."""
-        return "optimized" if self.state.is_compiled else "base"
+    def tier(self) -> Tier:
+        """The installed-version :class:`Tier` (string-comparable)."""
+        return Tier.OPTIMIZED if self.state.is_compiled else Tier.BASE
+
+    @property
+    def version(self) -> VersionInfo:
+        """A read-only :class:`VersionInfo` for the installed version.
+
+        Prefer this over ``handle.state`` (mechanism internals): it is a
+        stable snapshot — safe to hold across tier transitions — and it
+        carries the artifact key the version persists under.
+        """
+        state = self.state
+        version = state.version
+        if version is None:
+            return VersionInfo(
+                tier=Tier.BASE,
+                speculative=False,
+                guards=0,
+                inlined_frames=0,
+                artifact_key=None,
+            )
+        from ..store.artifacts import ArtifactKey, function_ir_hash
+
+        return VersionInfo(
+            tier=Tier.OPTIMIZED,
+            speculative=version.speculative,
+            guards=len(version.pair.guard_points()),
+            inlined_frames=version.inlined_frames,
+            artifact_key=ArtifactKey(
+                function=self.name,
+                base_ir_hash=function_ir_hash(state.base),
+                config_fingerprint=self._engine.config.fingerprint(),
+            ),
+        )
 
     @property
     def speculative(self) -> bool:
@@ -118,7 +201,7 @@ class FunctionHandle:
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"FunctionHandle({self.name!r}, tier={self.tier!r})"
+        return f"FunctionHandle({self.name!r}, tier={self.tier.value!r})"
 
 
 class Engine:
@@ -136,6 +219,9 @@ class Engine:
         self.bus.subscribe(self._collector)
         self.runtime = AdaptiveRuntime(self.config, policy=policy, bus=self.bus)
         self._handles: Dict[str, FunctionHandle] = {}
+        #: Names whose compiled tier was re-installed from a store by
+        #: :meth:`Engine.open` (empty for cold-started engines).
+        self.restored_functions: Tuple[str, ...] = ()
 
     # ------------------------------------------------------------------ #
     # Construction.
@@ -180,6 +266,69 @@ class Engine:
         for function in functions:
             engine.register(function)
         return engine
+
+    @classmethod
+    def open(
+        cls,
+        source: str,
+        store: StoreLike,
+        *,
+        config: Optional[EngineConfig] = None,
+        policy: Optional[TieringPolicy] = None,
+        on_stale: str = "error",
+        module_name: str = "minic",
+    ) -> "Engine":
+        """Warm-start an engine: compile ``source``, then hydrate from ``store``.
+
+        Every registered function with a matching artifact (same base-IR
+        hash, same config fingerprint, all deopt-plan callees unchanged)
+        gets its persisted profile folded in and its compiled tier
+        re-installed — the first call runs optimized with **zero**
+        ``TierUp`` events (a ``VersionRestored`` event is published per
+        restored function instead).  A mismatched artifact raises a
+        typed :class:`~repro.store.artifacts.StaleArtifactError` /
+        :class:`~repro.store.artifacts.ConfigMismatchError` unless
+        ``on_stale="skip"``, which leaves those functions cold.
+
+        ``store`` may be an :class:`~repro.store.persist.ArtifactStore`
+        or a path to one.  Restored names land in
+        :attr:`restored_functions`.
+        """
+        from ..store.persist import hydrate_runtime
+
+        engine = cls.from_source(
+            source, config=config, policy=policy, module_name=module_name
+        )
+        engine.restored_functions = tuple(
+            hydrate_runtime(engine.runtime, store, on_stale=on_stale)
+        )
+        return engine
+
+    # ------------------------------------------------------------------ #
+    # Persistence.
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> "EngineSnapshot":
+        """Export everything this engine has learned, as pure data.
+
+        Waits for in-flight background compiles first (so a snapshot
+        taken right after warming captures the optimized tier), then
+        captures one artifact per registered function: the merged
+        profile, and the installed compiled version (optimized IR,
+        per-guard deopt plans, OSR mappings) when there is one.
+        """
+        from ..store.persist import snapshot_runtime
+
+        self.wait_for_compilation()
+        return snapshot_runtime(self.runtime)
+
+    def save(self, store: StoreLike) -> List["ArtifactKey"]:
+        """Snapshot and publish to ``store`` (merge-and-republish).
+
+        Profiles accumulate into existing entries under per-entry file
+        locks — concurrent savers (the worker fleet) merge rather than
+        clobber.  Returns the published artifact keys.
+        """
+        return self.snapshot().save(store)
 
     # ------------------------------------------------------------------ #
     # Lifecycle.

@@ -34,6 +34,7 @@ from .events import (
     OptimizingOSR,
     RuntimeEvent,
     TierUp,
+    VersionRestored,
 )
 
 __all__ = ["EngineStats", "StatsCollector"]
@@ -114,7 +115,9 @@ class StatsCollector:
 
     def _fold(self, event: RuntimeEvent) -> None:
         stats = self._stats.get(event.function, EngineStats())
-        if isinstance(event, TierUp):
+        if isinstance(event, (TierUp, VersionRestored)):
+            # A warm-started version is indistinguishable from a locally
+            # compiled one as far as the installed-version gauges go.
             stats = replace(
                 stats,
                 compiled=1,

@@ -33,6 +33,19 @@ class ProgramPoint:
     def __str__(self) -> str:
         return f"{self.block}:{self.index}"
 
+    @classmethod
+    def parse(cls, text: str) -> "ProgramPoint":
+        """Inverse of ``str``: ``"block:index"`` → :class:`ProgramPoint`.
+
+        Block labels never contain ``:`` so the rightmost colon is
+        unambiguous.  Serialization codecs (profiles, OSR artifacts) use
+        this as the canonical textual key for a point.
+        """
+        block, _, index = text.rpartition(":")
+        if not block:
+            raise ValueError(f"malformed program point {text!r}")
+        return cls(block, int(index))
+
 
 class BasicBlock:
     """A labelled straight-line sequence of instructions ending in a terminator."""

@@ -17,6 +17,7 @@ variant).
 from __future__ import annotations
 
 import itertools
+import json
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .expr import Expr, as_expr, free_vars, substitute
@@ -364,7 +365,16 @@ class Guard(Instruction):
         return True
 
     def __str__(self) -> str:
-        return f"guard {self.cond}"
+        if self.reason is None:
+            return f"guard {self.cond}"
+        # The reason is part of the canonical text: losing it across a
+        # print/parse round-trip would silently disable refutation-based
+        # invalidation on reloaded versions (the runtime ignores guard
+        # failures whose reason is None).  JSON quoting handles arbitrary
+        # content; ';' is escaped so the parser's comment stripping can
+        # never truncate a reason.
+        spelled = json.dumps(self.reason).replace(";", "\\u003b")
+        return f"guard {self.cond} !reason {spelled}"
 
 
 class Nop(Instruction):

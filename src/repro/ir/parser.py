@@ -29,6 +29,7 @@ underscores, dots and a leading ``%``.
 
 from __future__ import annotations
 
+import json
 import re
 from typing import Dict, List, Optional, Tuple
 
@@ -175,6 +176,10 @@ _CALL_RE = re.compile(
 )
 _PHI_RE = re.compile(r"([%A-Za-z_][A-Za-z_0-9.]*)\s*=\s*phi\s*\[(.*)\]\s*$")
 _BRANCH_RE = re.compile(r"br\s+(.+)\?\s*([A-Za-z_][A-Za-z_0-9.]*)\s*:\s*([A-Za-z_][A-Za-z_0-9.]*)\s*$")
+#: Trailing ``!reason "..."`` annotation on a guard: a JSON string literal
+#: so arbitrary reason text (printed by :class:`~repro.ir.instructions.Guard`)
+#: survives the round-trip.
+_GUARD_REASON_RE = re.compile(r'\s!reason\s+("(?:[^"\\]|\\.)*")\s*$')
 
 
 def _split_top_level_commas(text: str) -> List[str]:
@@ -222,7 +227,13 @@ def _parse_instruction(line: str, line_no: int):
         if text.startswith("jmp "):
             return Jump(text[4:].strip())
         if text.startswith("guard "):
-            return Guard(parse_expr(text[len("guard "):]))
+            body = text[len("guard "):]
+            reason_match = _GUARD_REASON_RE.search(body)
+            reason = None
+            if reason_match is not None:
+                reason = json.loads(reason_match.group(1))
+                body = body[: reason_match.start()].rstrip()
+            return Guard(parse_expr(body), reason=reason)
         branch_match = _BRANCH_RE.match(text)
         if branch_match:
             cond, then_target, else_target = branch_match.groups()

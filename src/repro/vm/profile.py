@@ -28,7 +28,7 @@ from __future__ import annotations
 import threading
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ir.function import ProgramPoint
 
@@ -84,6 +84,19 @@ class RegisterProfile:
         if other.overflowed or len(self.counts) > MAX_DISTINCT_VALUES:
             self.overflowed = True
 
+    def as_json(self) -> Dict[str, object]:
+        """A JSON-compatible encoding (value keys as pair lists, not dict
+        keys, because JSON object keys are strings)."""
+        return {
+            "counts": sorted([int(v), int(c)] for v, c in self.counts.items()),
+            "overflowed": self.overflowed,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "RegisterProfile":
+        counts = Counter({int(v): int(c) for v, c in data.get("counts", [])})
+        return cls(counts, bool(data.get("overflowed", False)))
+
 
 @dataclass
 class BranchProfile:
@@ -107,6 +120,13 @@ class BranchProfile:
     def merge(self, other: "BranchProfile") -> None:
         self.taken += other.taken
         self.not_taken += other.not_taken
+
+    def as_json(self) -> Dict[str, object]:
+        return {"taken": self.taken, "not_taken": self.not_taken}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "BranchProfile":
+        return cls(int(data.get("taken", 0)), int(data.get("not_taken", 0)))
 
 
 @dataclass
@@ -148,6 +168,18 @@ class CallSiteProfile:
             self.arg_values.append(RegisterProfile())
         for slot, theirs in zip(self.arg_values, other.arg_values):
             slot.merge(theirs)
+
+    def as_json(self) -> Dict[str, object]:
+        return {
+            "callees": {name: int(c) for name, c in sorted(self.callees.items())},
+            "args": [slot.as_json() for slot in self.arg_values],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "CallSiteProfile":
+        site = cls(Counter({n: int(c) for n, c in dict(data.get("callees", {})).items()}))
+        site.arg_values = [RegisterProfile.from_json(a) for a in data.get("args", [])]
+        return site
 
 
 @dataclass
@@ -281,6 +313,36 @@ class FunctionProfile:
             else:
                 mine_site.merge(site)
 
+    def as_json(self) -> Dict[str, object]:
+        """A JSON-compatible encoding; program points become ``block:index``
+        keys (the :meth:`~repro.ir.function.ProgramPoint.parse` form)."""
+        return {
+            "values": {
+                name: prof.as_json() for name, prof in sorted(self.values.items())
+            },
+            "branches": {
+                str(point): br.as_json()
+                for point, br in sorted(self.branches.items())
+            },
+            "call_sites": {
+                str(point): site.as_json()
+                for point, site in sorted(self.call_sites.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "FunctionProfile":
+        profile = cls()
+        for name, encoded in dict(data.get("values", {})).items():
+            profile.values[name] = RegisterProfile.from_json(encoded)
+        for key, encoded in dict(data.get("branches", {})).items():
+            profile.branches[ProgramPoint.parse(key)] = BranchProfile.from_json(encoded)
+        for key, encoded in dict(data.get("call_sites", {})).items():
+            profile.call_sites[ProgramPoint.parse(key)] = CallSiteProfile.from_json(
+                encoded
+            )
+        return profile
+
     def clone(self) -> "FunctionProfile":
         """An independent deep copy (histograms included).
 
@@ -357,6 +419,21 @@ class ValueProfile:
     def discard(self, name: str) -> None:
         """Forget everything recorded about ``name`` (re-registration)."""
         self.functions.pop(name, None)
+
+    def as_json(self) -> Dict[str, object]:
+        return {
+            "functions": {
+                name: profile.as_json()
+                for name, profile in sorted(self.functions.items())
+            }
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ValueProfile":
+        sink = cls()
+        for name, encoded in dict(data.get("functions", {})).items():
+            sink.functions[name] = FunctionProfile.from_json(encoded)
+        return sink
 
     def __repr__(self) -> str:
         return f"<ValueProfile {len(self.functions)} functions>"
@@ -483,6 +560,23 @@ class ShardedValueProfile:
                 if profile is not None:
                     merged.merge(profile)
         return merged
+
+    def preload(self, profile: ValueProfile, *, name: Optional[str] = None) -> None:
+        """Seed the sink with a previously persisted profile (warm start).
+
+        The hydrated facts are folded into the retired accumulator — the
+        same place dead threads' shards end up — so every later snapshot
+        (:meth:`merged`, :meth:`function`) sees persisted and freshly
+        recorded samples as one history.  ``name`` restricts the preload
+        to a single function (an engine hydrates per-function artifacts).
+        """
+        with self._registry_lock:
+            if name is None:
+                self._retired.merge(profile)
+            else:
+                theirs = profile.functions.get(name)
+                if theirs is not None:
+                    self._retired.function(name).merge(theirs)
 
     def discard(self, name: str) -> None:
         """Drop every shard's facts about ``name`` (re-registration).

@@ -118,6 +118,7 @@ from ..engine.events import (
     RuntimeEvent,
     SpeculationRejected,
     TierUp,
+    VersionRestored,
 )
 from ..engine.policy import HotnessPolicy, TieringPolicy
 from ..ir.expr import evaluate, free_vars
@@ -192,6 +193,15 @@ class CompiledVersion:
     #: them alive across an optimizing OSR entry.
     keep_alive: FrozenSet[str]
     speculative: bool
+    #: Full f_opt → f_base mapping, carried only by versions hydrated
+    #: from a persisted artifact: their pair has no
+    #: :class:`~repro.core.codemapper.CodeMapper` to rebuild one from,
+    #: so the mapping itself is part of the artifact.  ``None`` on
+    #: locally built versions (rebuilt lazily from the mapper instead).
+    backward: Optional[OSRMapping] = None
+    #: Inlined-frame count override for hydrated versions (the live count
+    #: is derived from the mapper, which a hydrated pair lacks).
+    restored_frames: Optional[int] = None
 
     @property
     def optimized(self) -> Function:
@@ -199,6 +209,8 @@ class CompiledVersion:
 
     @property
     def inlined_frames(self) -> int:
+        if self.restored_frames is not None:
+            return self.restored_frames
         return len(self.pair.inlined_frames())
 
 
@@ -631,6 +643,34 @@ class AdaptiveRuntime:
         self._publish(
             TierUp(
                 state.base.name,
+                speculative=version.speculative,
+                guards=len(version.pair.guard_points()),
+                inlined_frames=version.inlined_frames,
+            )
+        )
+
+    def install_restored(self, name: str, version: CompiledVersion) -> None:
+        """Install a version hydrated from a persisted artifact (warm start).
+
+        Mirrors :meth:`_install` — backend artifact pre-built off the
+        request path, single-assignment publish, failure counters reset —
+        but announces :class:`~repro.engine.events.VersionRestored`
+        rather than :class:`~repro.engine.events.TierUp`: no compilation
+        happened in this process, and warm-start clients count tier-ups
+        to prove exactly that.  The hydrated backward mapping (if any)
+        seeds the lazy cache directly, since the pair cannot rebuild it.
+        """
+        state = self.functions[name]
+        self.opt_backend.prepare(version.optimized)
+        with state.lock:
+            if self.functions.get(name) is not state:
+                return  # superseded by a re-registration while hydrating
+            state.version = version
+            state.backward_mapping = version.backward
+            state.failures_at = {}
+        self._publish(
+            VersionRestored(
+                name,
                 speculative=version.speculative,
                 guards=len(version.pair.guard_points()),
                 inlined_frames=version.inlined_frames,
@@ -1249,7 +1289,11 @@ class AdaptiveRuntime:
         with state.lock:
             if state.version is version and state.backward_mapping is not None:
                 return state.backward_mapping
-        mapping = version.pair.backward_mapping(self.config.mode)
+        mapping = (
+            version.backward
+            if version.backward is not None
+            else version.pair.backward_mapping(self.config.mode)
+        )
         with state.lock:
             if state.version is version:
                 state.backward_mapping = mapping
