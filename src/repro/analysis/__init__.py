@@ -28,6 +28,15 @@ from .constants import (
     LatticeValue,
     sccp_analysis,
 )
+from .fusion import (
+    COMPARISON_OPS,
+    FusedCompareBranch,
+    FusedStore,
+    fusible_compare_branches,
+    fusible_stores,
+    register_def_counts,
+    register_use_counts,
+)
 
 __all__ = [
     "LivenessInfo",
@@ -46,4 +55,11 @@ __all__ = [
     "TOP",
     "BOTTOM",
     "sccp_analysis",
+    "COMPARISON_OPS",
+    "FusedCompareBranch",
+    "FusedStore",
+    "fusible_compare_branches",
+    "fusible_stores",
+    "register_def_counts",
+    "register_use_counts",
 ]

@@ -1,0 +1,146 @@
+"""Superinstruction-fusion candidates: adjacent def/use pairs.
+
+The structured code emitter (:mod:`repro.vm.closure_compile`) and the
+:class:`~repro.passes.fuse.SuperinstructionFusion` pass both fuse hot
+two-instruction sequences into one emitted operation:
+
+* ``t = a < b; br t ? x : y``  →  ``if a < b:``  (compare + branch)
+* ``t = a + b; store p, t``    →  ``store p, a + b``  (add + store)
+
+Fusing is only sound when ``t`` is a *single-definition, single-use*
+temporary: the fused consumer is its only reader, so no other
+instruction (and no phi edge) observes it.  Whether the *environment*
+still observes it — every register the interpreter ever assigned is
+visible in final environments and in guard-failure snapshots — is the
+emitter's problem; it re-materializes fused compare temps on the edges
+where they remain observable (their value is the branch outcome, a
+constant 0/1 per edge).
+
+This module computes the candidates; it never mutates the IR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..ir.expr import BinOp, Var, free_vars
+from ..ir.function import Function
+from ..ir.instructions import Assign, Branch, Store
+
+__all__ = [
+    "COMPARISON_OPS",
+    "register_use_counts",
+    "register_def_counts",
+    "FusedCompareBranch",
+    "fusible_compare_branches",
+    "FusedStore",
+    "fusible_stores",
+]
+
+#: Comparison operators eligible for compare+branch fusion.
+COMPARISON_OPS = frozenset({"eq", "ne", "lt", "le", "gt", "ge"})
+
+
+def register_use_counts(function: Function) -> Dict[str, int]:
+    """How many instruction operands read each register.
+
+    Counted per operand expression (a register read by both the address
+    and the value of one ``store`` counts twice), so a count of one
+    means exactly one consumer expression in the whole function.
+    """
+    counts: Dict[str, int] = {}
+    for block in function.iter_blocks():
+        for inst in block.instructions:
+            for expr in inst.expressions():
+                for name in free_vars(expr):
+                    counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def register_def_counts(function: Function) -> Dict[str, int]:
+    """How many instructions define each register (params count as one)."""
+    counts: Dict[str, int] = {name: 1 for name in function.params}
+    for block in function.iter_blocks():
+        for inst in block.instructions:
+            for name in inst.defs():
+                counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+@dataclass(frozen=True)
+class FusedCompareBranch:
+    """A ``t = <cmp>; br t ? a : b`` pair fusible into ``if <cmp>:``."""
+
+    block: str
+    temp: str
+    #: The comparison expression (a :class:`~repro.ir.expr.BinOp` with a
+    #: comparison operator) the branch tests directly after fusion.
+    compare: BinOp
+
+
+def fusible_compare_branches(function: Function) -> Dict[str, FusedCompareBranch]:
+    """Blocks ending in a fusible compare+branch pair, keyed by label.
+
+    Requirements: the block's last non-terminator is a pure comparison
+    ``Assign``, the terminator branches on exactly that temp, and the
+    temp has one definition and one use in the whole function.
+    """
+    uses = register_use_counts(function)
+    defs = register_def_counts(function)
+    out: Dict[str, FusedCompareBranch] = {}
+    for block in function.iter_blocks():
+        if len(block.instructions) < 2:
+            continue
+        assign = block.instructions[-2]
+        branch = block.instructions[-1]
+        if not isinstance(assign, Assign) or not isinstance(branch, Branch):
+            continue
+        if branch.then_target == branch.else_target:
+            continue  # degenerate branch: emitted as a plain jump
+        expr = assign.expr
+        if not isinstance(expr, BinOp) or expr.op not in COMPARISON_OPS:
+            continue
+        cond = branch.cond
+        if not isinstance(cond, Var) or cond.name != assign.dest:
+            continue
+        if defs.get(assign.dest) != 1 or uses.get(assign.dest) != 1:
+            continue
+        out[block.label] = FusedCompareBranch(block.label, assign.dest, expr)
+    return out
+
+
+@dataclass(frozen=True)
+class FusedStore:
+    """An ``t = expr; store addr, t`` pair fusible into ``store addr, expr``."""
+
+    block: str
+    #: Index of the defining :class:`~repro.ir.instructions.Assign`.
+    assign_index: int
+    temp: str
+
+
+def fusible_stores(function: Function) -> Tuple[FusedStore, ...]:
+    """Adjacent assign+store pairs whose temp has no other reader.
+
+    The temp is still *environment*-observable (the interpreter keeps it
+    in the final environment), so only consumers that rewrite the IR —
+    where both engines see the fused form — may drop the definition; see
+    :class:`~repro.passes.fuse.SuperinstructionFusion`.
+    """
+    uses = register_use_counts(function)
+    defs = register_def_counts(function)
+    out = []
+    for block in function.iter_blocks():
+        for index in range(len(block.instructions) - 1):
+            assign = block.instructions[index]
+            store = block.instructions[index + 1]
+            if not isinstance(assign, Assign) or not isinstance(store, Store):
+                continue
+            value = store.value
+            if not isinstance(value, Var) or value.name != assign.dest:
+                continue
+            if defs.get(assign.dest) != 1 or uses.get(assign.dest) != 1:
+                continue
+            out.append(FusedStore(block.label, index, assign.dest))
+    return tuple(out)

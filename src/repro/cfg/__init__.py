@@ -3,6 +3,16 @@
 from .graph import ControlFlowGraph, postorder, reachable_blocks, reverse_postorder
 from .dominance import DominatorTree, dominance_frontiers
 from .loops import LoopNest, NaturalLoop, find_loops
+from .structure import (
+    VIRTUAL_EXIT,
+    HoistableGuard,
+    LoopShape,
+    PostDominators,
+    StructureInfo,
+    UnstructurableCFG,
+    invariant_guard_plan,
+    is_reducible,
+)
 
 __all__ = [
     "ControlFlowGraph",
@@ -14,4 +24,12 @@ __all__ = [
     "NaturalLoop",
     "LoopNest",
     "find_loops",
+    "VIRTUAL_EXIT",
+    "UnstructurableCFG",
+    "PostDominators",
+    "LoopShape",
+    "StructureInfo",
+    "HoistableGuard",
+    "invariant_guard_plan",
+    "is_reducible",
 ]

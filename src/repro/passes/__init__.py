@@ -13,6 +13,7 @@ from .base import Pass, PassManager, PipelineResult
 from .adce import AggressiveDCE
 from .constprop import ConstantPropagationPass
 from .cse import CommonSubexpressionElimination
+from .fuse import SuperinstructionFusion
 from .inline import InlineCalls
 from .licm import LoopInvariantCodeMotion
 from .loopcanon import LoopCanonicalization
@@ -29,6 +30,7 @@ __all__ = [
     "ConstantPropagationPass",
     "CommonSubexpressionElimination",
     "InlineCalls",
+    "SuperinstructionFusion",
     "LoopInvariantCodeMotion",
     "LoopCanonicalization",
     "LoopClosedSSA",
@@ -70,6 +72,7 @@ def standard_pipeline() -> List[Pass]:
         SparseConditionalConstantPropagation(),
         CodeSinking(),
         AggressiveDCE(),
+        SuperinstructionFusion(),
     ]
 
 

@@ -35,7 +35,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 from ..ir.function import Function, Module, ProgramPoint
 from ..ir.interp import ExecutionResult, Interpreter, Memory, NativeFunction
 from ..ir.intrinsics import call_intrinsic, is_intrinsic, reject_reserved_names
-from .closure_compile import ClosureCompiler
+from .closure_compile import ClosureCompiler, CompiledFunction
 
 __all__ = [
     "ExecutionBackend",
@@ -226,13 +226,16 @@ class CompiledBackend(ExecutionBackend):
         module: Optional[Module] = None,
         natives: Optional[Mapping[str, NativeFunction]] = None,
         step_limit: int = 2_000_000,
+        codegen: Optional[str] = None,
     ) -> None:
         self.module = module
         self.natives: Dict[str, NativeFunction] = dict(natives or {})
         reject_reserved_names(self.natives)
         self.step_limit = step_limit
         self.compiler = ClosureCompiler(
-            step_limit=step_limit, resolve_call=self._resolve_call
+            step_limit=step_limit,
+            resolve_call=self._resolve_call,
+            codegen=codegen,
         )
 
     # -------------------------------------------------------------- #
@@ -261,6 +264,20 @@ class CompiledBackend(ExecutionBackend):
     def prepare(self, function: Function) -> None:
         """Lower (and cache) the entry artifact ahead of the first run."""
         self.compiler.compile(function)
+
+    def compiled_artifact(
+        self, function: Function, point: Optional[ProgramPoint] = None
+    ) -> CompiledFunction:
+        """Compile (or fetch the cached) artifact for inspection.
+
+        Exposes the :class:`~repro.vm.closure_compile.CompiledFunction`
+        so tooling can read ``.source`` (the generated Python) and
+        ``.emitter`` ("structured" or "dispatch") — the benchmark
+        recorder uses the latter to *fail* when a kernel silently fell
+        back to the dispatch emitter, and CI archives the former next
+        to the benchmark recordings.
+        """
+        return self.compiler.compile(function, point)
 
     # -------------------------------------------------------------- #
     # ExecutionBackend interface.

@@ -10,20 +10,44 @@ module removes all three costs by *lowering* a verified IR
 * **registers become Python locals** (``LOAD_FAST``/``STORE_FAST`` —
   faster than the fixed-slot lists a hand-rolled frame would use),
 * **expressions become Python expressions** compiled ahead of time,
-* **blocks become straight-line code** inside a direct-threaded dispatch
-  loop: a jump assigns an integer block id and ``continue``s to the top,
+* **control flow becomes structured Python control flow**: natural loops
+  are reconstructed as ``while True:`` statements with ``continue`` on
+  back edges and ``break`` on exit edges, and branch regions become
+  nested ``if``/``else`` closed at the postdominator join — the
+  loop-reconstruction-and-extraction technique of Mosaner et al.
+  (arXiv 1909.08815) — so CPython's own bytecode optimizer sees real
+  loops instead of a flat dispatch switch,
 * **phi nodes become parallel edge assignments** materialized on each
   incoming edge (the classic "moves on the edges" out-of-SSA lowering),
+* **hot pairs fuse into superinstructions**: a single-use comparison
+  feeding a branch compiles to ``if a < b:`` directly (the temp is
+  re-materialized as the constant branch outcome on each arm, keeping
+  environments bit-identical to the interpreter's), and
+  :class:`~repro.passes.fuse.SuperinstructionFusion` performs the
+  analogous add+store fusion at the IR level,
+* **loop-invariant guards unswitch out of loop bodies**: a loop whose
+  guards test conditions reconstructible from registers defined outside
+  the loop is emitted twice behind a single pre-check — the fast copy
+  omits the guards, the slow copy keeps every guard at its exact program
+  point — so guard failures still carry the full deopt live state,
 * **guards become inline checks** that raise
   :class:`~repro.ir.interp.GuardFailure` carrying the full live state the
   :class:`~repro.core.codemapper.CodeMapper`-derived deoptimization
   mapping needs (register environment, memory, arrival block).
 
+Functions whose CFG has no structured spelling (irreducible regions,
+multi-exit loops) fall back transparently to the original
+direct-threaded **dispatch-loop emitter**, which handles any CFG: a jump
+assigns an integer block id and ``continue``s to the top of a
+``while True:`` switch.  The ``REPRO_CODEGEN`` environment variable
+(``structured`` | ``dispatch``) selects the default emitter.
+
 The lowering also produces **OSR entry stubs**: a variant of the function
 whose prologue re-binds every register from a transferred environment,
-executes the tail of the landing block (resolving a leading phi run
-against the dynamic predecessor when the landing point is a block head)
-and then falls into the ordinary dispatch loop.  This is how a compiled
+executes the remainder of the interrupted loop iteration (resolving a
+leading phi run against the dynamic predecessor when the landing point
+is a block head) and then enters the *reconstructed* loop at its header
+— loop extraction in the sense of Mosaner et al.  This is how a compiled
 tier accepts an optimizing-OSR transition mid-loop: the runtime maps an
 interpreter :class:`~repro.ir.function.ProgramPoint` to a stub and calls
 it with the K_avail-preserving environment produced by the forward
@@ -33,15 +57,26 @@ Semantics are identical to the interpreter by construction: the same
 truncating division/remainder helpers, the same ``& 63`` shift masking,
 comparison results coerced back to ``int`` (via unary ``+`` on the
 ``bool``), the same ``GuardFailure``/``AbortExecution`` control flow and
-a step budget counted in block transfers so miscompiled non-terminating
-code still fails loudly instead of hanging.
+a step budget so miscompiled non-terminating code still fails loudly
+instead of hanging (counted per block transfer by the dispatch emitter
+and per loop iteration by the structured emitter; step totals are
+backend-specific, see :class:`~repro.ir.interp.ExecutionResult`).
 """
 
 from __future__ import annotations
 
+import os
 import threading
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from ..analysis.fusion import FusedCompareBranch, fusible_compare_branches
+from ..cfg.structure import (
+    VIRTUAL_EXIT,
+    HoistableGuard,
+    StructureInfo,
+    UnstructurableCFG,
+    invariant_guard_plan,
+)
 from ..ir.expr import BinOp, Const, Expr, UnOp, Undef, Var, int_div, int_rem
 from ..ir.function import BasicBlock, Function, ProgramPoint
 from ..ir.intrinsics import call_intrinsic
@@ -74,7 +109,25 @@ __all__ = [
     "compile_ir_function",
     "mangle",
     "compile_expr",
+    "CODEGEN_ENV_VAR",
+    "CODEGEN_MODES",
+    "codegen_from_env",
 ]
+
+#: Environment variable selecting the default code emitter.
+CODEGEN_ENV_VAR = "REPRO_CODEGEN"
+
+#: Recognized emitters: ``structured`` (nested ``while``/``if`` with a
+#: dispatcher fallback for unstructurable CFGs) and ``dispatch`` (the
+#: direct-threaded block-dispatch loop, always applicable).
+CODEGEN_MODES = ("structured", "dispatch")
+
+
+def codegen_from_env(default: str = "structured") -> str:
+    """The emitter selected by :data:`CODEGEN_ENV_VAR`, or ``default``."""
+    value = os.environ.get(CODEGEN_ENV_VAR, "").strip().lower()
+    return value if value in CODEGEN_MODES else default
+
 
 class _UndefinedRegister:
     """Sentinel for registers not yet assigned.
@@ -198,6 +251,29 @@ def compile_expr(expr: Expr) -> str:
     raise TypeError(f"unknown expression node {expr!r}")
 
 
+def _expr_is_total(expr: Expr) -> bool:
+    """True when evaluating ``expr`` over bound integers cannot raise.
+
+    Division, remainder and ``undef`` can raise at evaluation time; a
+    hoisted pre-check containing them would move the raise from the
+    guard's program point (mid-loop, after side effects) to the loop
+    entry, which is observable.  Everything else on ints is total.
+    """
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Undef):
+            return False
+        if isinstance(node, BinOp):
+            if node.op in ("div", "rem"):
+                return False
+            stack.append(node.lhs)
+            stack.append(node.rhs)
+        elif isinstance(node, UnOp):
+            stack.append(node.operand)
+    return True
+
+
 # ---------------------------------------------------------------------- #
 # The compiled artifact.
 # ---------------------------------------------------------------------- #
@@ -219,12 +295,16 @@ class CompiledFunction:
         entry: Optional[ProgramPoint],
         raw: Callable,
         source: str,
+        emitter: str = "dispatch",
     ) -> None:
         self.function = function
         self.entry = entry
         self._raw = raw
         #: The generated Python source (kept for inspection and tests).
         self.source = source
+        #: Which emitter produced :attr:`source`: ``"structured"`` or
+        #: ``"dispatch"`` (the fallback for unstructurable CFGs).
+        self.emitter = emitter
 
     def __call__(
         self,
@@ -251,6 +331,12 @@ class ClosureCompiler:
     backend wires to module functions (compiled recursively) or host
     natives.
 
+    ``codegen`` picks the emitter: ``"structured"`` (the default,
+    overridable via :data:`CODEGEN_ENV_VAR`) reconstructs nested
+    ``while``/``if`` control flow and falls back to the dispatch loop
+    for CFGs with no structured spelling; ``"dispatch"`` forces the
+    dispatch loop for every function.
+
     Thread-safety: the generated closures keep *all* execution state in
     locals (plus the caller-supplied :class:`Memory`), so one compiled
     artifact may run on any number of threads at once.  The artifact
@@ -266,10 +352,18 @@ class ClosureCompiler:
         step_limit: int = 2_000_000,
         resolve_call: Optional[Callable[[str, List[int], Memory], int]] = None,
         verify: bool = True,
+        codegen: Optional[str] = None,
     ) -> None:
         self.step_limit = step_limit
         self.verify = verify
         self.resolve_call = resolve_call or _no_calls
+        if codegen is None:
+            codegen = codegen_from_env()
+        if codegen not in CODEGEN_MODES:
+            raise ValueError(
+                f"unknown codegen mode {codegen!r}; expected one of {CODEGEN_MODES}"
+            )
+        self.codegen = codegen
         self._cache: Dict[Tuple[int, Optional[ProgramPoint]], CompiledFunction] = {}
         self._cache_lock = threading.Lock()
 
@@ -300,8 +394,18 @@ class ClosureCompiler:
     def _lower(
         self, function: Function, entry: Optional[ProgramPoint]
     ) -> CompiledFunction:
-        emitter = _Emitter(function, entry)
-        source = emitter.emit()
+        emitter: Optional[_EmitterBase] = None
+        source: Optional[str] = None
+        if self.codegen == "structured":
+            try:
+                candidate = _StructuredEmitter(function, entry)
+                source = candidate.emit()
+                emitter = candidate
+            except UnstructurableCFG:
+                emitter = None  # fall back to the dispatch loop
+        if emitter is None or source is None:
+            emitter = _DispatchEmitter(function, entry)
+            source = emitter.emit()
         namespace = {
             "_U": _UNDEFINED,
             "_GF": GuardFailure,
@@ -321,7 +425,7 @@ class ClosureCompiler:
         code = compile(source, f"<closure:{function.name}>", "exec")
         exec(code, namespace)
         raw = namespace["__compiled__"]
-        return CompiledFunction(function, entry, raw, source)
+        return CompiledFunction(function, entry, raw, source, emitter=emitter.kind)
 
 
 def _no_calls(name: str, args: List[int], memory: Memory) -> int:
@@ -351,21 +455,25 @@ def _make_snapshot(name_table: List[Tuple[str, str]]):
     return _snapshot
 
 
-class _Emitter:
-    """Generates the Python source for one ``(function, entry)`` pair."""
+class _EmitterBase:
+    """State and instruction lowering shared by both code emitters."""
+
+    #: Name recorded on the artifact (``"structured"`` / ``"dispatch"``).
+    kind = "dispatch"
 
     def __init__(self, function: Function, entry: Optional[ProgramPoint]) -> None:
         self.function = function
         self.entry = entry
-        labels = function.block_labels()
-        self.block_ids: Dict[str, int] = {label: i for i, label in enumerate(labels)}
         registers = sorted(function.defined_variables() | set(function.params))
         #: (mangled, original) pairs; the snapshot helper and the OSR
         #: prologue both walk this table.
         self.name_table: List[Tuple[str, str]] = [
             (mangle(name), name) for name in registers
         ]
-        #: Guard program points, indexed by emission order.
+        #: Guard program points, indexed by emission order.  The
+        #: structured emitter may emit one guard several times (loop
+        #: copies, OSR remainders); every emission gets its own slot
+        #: carrying the same program point.
         self.point_table: List[ProgramPoint] = []
         #: Guard reasons (the speculated facts), same indexing.
         self.reason_table: List[Optional[str]] = []
@@ -379,8 +487,7 @@ class _Emitter:
     def _w(self, indent: int, text: str) -> None:
         self.lines.append("    " * indent + text)
 
-    def emit(self) -> str:
-        fn = self.function
+    def _emit_prelude(self) -> None:
         self._w(0, "def __compiled__(_in, _memory, _prev):")
         self._w(1, "_mload = _memory.load; _mstore = _memory.store")
         self._w(1, "_alloc = _memory.allocate")
@@ -392,32 +499,36 @@ class _Emitter:
             chunk = mangled[chunk_start : chunk_start + 8]
             self._w(1, " = ".join(chunk) + " = _U")
 
+    def _emit_entry_bindings(self) -> Tuple[str, int]:
+        """Bind the inputs and return the ``(block, index)`` start point.
+
+        A normal entry binds positional parameters; an OSR stub restores
+        every register present in the transferred environment and, when
+        landing on a phi head, resolves the parallel assignment against
+        the dynamic predecessor exactly like ``Interpreter.resume``.
+        """
+        fn = self.function
         if self.entry is None:
             for i, param in enumerate(fn.params):
                 self._w(1, f"{mangle(param)} = _in[{i}]")
-            start_block = fn.entry_label
-            start_index = 0
-        else:
-            # OSR entry stub: re-bind every register present in the
-            # transferred environment (missing ones stay undefined, like
-            # the interpreter's resume with a partial environment).
-            for mangled_name, original in self.name_table:
-                self._w(1, f"{mangled_name} = _in.get({original!r}, _U)")
-            start_block = self.entry.block
-            start_index = self.entry.index
+            return fn.entry_label, 0
+
+        # OSR entry stub: re-bind every register present in the
+        # transferred environment (missing ones stay undefined, like
+        # the interpreter's resume with a partial environment).
+        for mangled_name, original in self.name_table:
+            self._w(1, f"{mangled_name} = _in.get({original!r}, _U)")
+        start_block = self.entry.block
+        start_index = self.entry.index
 
         landing_block = fn.blocks[start_block]
         phis = landing_block.phis()
-        if self.entry is not None and 0 < start_index < len(phis):
+        if 0 < start_index < len(phis):
             raise ValueError(
                 f"@{fn.name}: cannot compile an OSR entry inside the leading "
                 f"phi run at {self.entry}"
             )
-
-        if self.entry is not None and start_index == 0 and phis:
-            # Landing on a phi head: resolve the parallel assignment
-            # against the dynamic predecessor, exactly like
-            # ``Interpreter.resume`` with ``previous_block``.
+        if start_index == 0 and phis:
             preds = sorted({p for phi in phis for p in phi.incoming})
             first = True
             for pred in preds:
@@ -432,43 +543,8 @@ class _Emitter:
             self._w(1, "else:")
             self._w(2, f"raise RuntimeError({message!r})")
             start_index = len(phis)
+        return start_block, start_index
 
-        if self.entry is not None and start_index > 0:
-            # Execute the tail of the landing block as a straight-line
-            # prologue; its terminator (or the phi-head resolution above)
-            # hands control to the ordinary dispatch loop.
-            for index in range(start_index, len(landing_block.instructions)):
-                self._emit_instruction(1, landing_block, index, in_loop=False)
-        else:
-            self._w(1, f"_b = {self.block_ids[start_block]}")
-
-        # The direct-threaded dispatch loop.
-        self._w(1, "while True:")
-        self._w(2, "_fuel -= 1")
-        self._w(2, "if _fuel < 0:")
-        self._w(
-            3,
-            "raise _StepLimit('compiled execution exceeded the step limit "
-            "of %d block transfers' % _FUEL)",
-        )
-        first = True
-        for label in fn.block_labels():
-            block = fn.blocks[label]
-            kw = "if" if first else "elif"
-            first = False
-            self._w(2, f"{kw} _b == {self.block_ids[label]}:")
-            body_start = len(block.phis())  # phis are edge moves
-            emitted = False
-            for index in range(body_start, len(block.instructions)):
-                self._emit_instruction(3, block, index, in_loop=True)
-                emitted = True
-            if not emitted:  # pragma: no cover - verify guarantees a terminator
-                self._w(3, "pass")
-        self._w(2, "else:")
-        self._w(3, "raise RuntimeError('unknown block id %r' % _b)")
-        return "\n".join(self.lines) + "\n"
-
-    # -------------------------------------------------------------- #
     def _emit_phi_moves(self, indent: int, phis: List[Phi], pred: str) -> None:
         """Parallel assignment for the phi run of a block, along edge ``pred``."""
         dests: List[str] = []
@@ -492,26 +568,8 @@ class _Emitter:
         else:
             self._w(indent, f"{', '.join(dests)} = {', '.join(sources)}")
 
-    def _emit_edge(
-        self, indent: int, from_label: str, to_label: str, in_loop: bool
-    ) -> None:
-        """Transfer control along one CFG edge: phi moves, then dispatch."""
-        target = self.function.blocks.get(to_label)
-        if target is None:
-            message = f"@{self.function.name}: unknown block {to_label!r}"
-            self._w(indent, f"raise KeyError({message!r})")
-            return
-        phis = target.phis()
-        if phis:
-            self._emit_phi_moves(indent, phis, from_label)
-        self._w(indent, f"_prev = {from_label!r}")
-        self._w(indent, f"_b = {self.block_ids[to_label]}")
-        if in_loop:
-            self._w(indent, "continue")
-
-    def _emit_instruction(
-        self, indent: int, block: BasicBlock, index: int, *, in_loop: bool
-    ) -> None:
+    def _emit_simple(self, indent: int, block: BasicBlock, index: int) -> None:
+        """Emit one position-independent instruction (no jumps/branches)."""
         inst = block.instructions[index]
         label = block.label
         if isinstance(inst, Phi):
@@ -554,7 +612,91 @@ class _Emitter:
             )
         elif isinstance(inst, Nop):
             self._w(indent, "pass")
-        elif isinstance(inst, Jump):
+        elif isinstance(inst, Return):
+            value = compile_expr(inst.value) if inst.value is not None else "None"
+            self._w(indent, f"return ({value}, _snapshot(locals()), _FUEL - _fuel)")
+        elif isinstance(inst, Abort):
+            message = f"@{self.function.name}: abort at {label}:{index}"
+            self._w(indent, f"raise _Abort({message!r})")
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown instruction {inst!r}")
+
+
+class _DispatchEmitter(_EmitterBase):
+    """The direct-threaded dispatch-loop emitter (handles any CFG)."""
+
+    kind = "dispatch"
+
+    def __init__(self, function: Function, entry: Optional[ProgramPoint]) -> None:
+        super().__init__(function, entry)
+        labels = function.block_labels()
+        self.block_ids: Dict[str, int] = {label: i for i, label in enumerate(labels)}
+
+    def emit(self) -> str:
+        fn = self.function
+        self._emit_prelude()
+        start_block, start_index = self._emit_entry_bindings()
+
+        if start_index > 0:
+            # Execute the tail of the landing block as a straight-line
+            # prologue; its terminator (or the phi-head resolution in the
+            # entry bindings) hands control to the ordinary dispatch loop.
+            landing_block = fn.blocks[start_block]
+            for index in range(start_index, len(landing_block.instructions)):
+                self._emit_instruction(1, landing_block, index, in_loop=False)
+        else:
+            self._w(1, f"_b = {self.block_ids[start_block]}")
+
+        # The direct-threaded dispatch loop.
+        self._w(1, "while True:")
+        self._w(2, "_fuel -= 1")
+        self._w(2, "if _fuel < 0:")
+        self._w(
+            3,
+            "raise _StepLimit('compiled execution exceeded the step limit "
+            "of %d block transfers' % _FUEL)",
+        )
+        first = True
+        for label in fn.block_labels():
+            block = fn.blocks[label]
+            kw = "if" if first else "elif"
+            first = False
+            self._w(2, f"{kw} _b == {self.block_ids[label]}:")
+            body_start = len(block.phis())  # phis are edge moves
+            emitted = False
+            for index in range(body_start, len(block.instructions)):
+                self._emit_instruction(3, block, index, in_loop=True)
+                emitted = True
+            if not emitted:  # pragma: no cover - verify guarantees a terminator
+                self._w(3, "pass")
+        self._w(2, "else:")
+        self._w(3, "raise RuntimeError('unknown block id %r' % _b)")
+        return "\n".join(self.lines) + "\n"
+
+    # -------------------------------------------------------------- #
+    def _emit_edge(
+        self, indent: int, from_label: str, to_label: str, in_loop: bool
+    ) -> None:
+        """Transfer control along one CFG edge: phi moves, then dispatch."""
+        target = self.function.blocks.get(to_label)
+        if target is None:
+            message = f"@{self.function.name}: unknown block {to_label!r}"
+            self._w(indent, f"raise KeyError({message!r})")
+            return
+        phis = target.phis()
+        if phis:
+            self._emit_phi_moves(indent, phis, from_label)
+        self._w(indent, f"_prev = {from_label!r}")
+        self._w(indent, f"_b = {self.block_ids[to_label]}")
+        if in_loop:
+            self._w(indent, "continue")
+
+    def _emit_instruction(
+        self, indent: int, block: BasicBlock, index: int, *, in_loop: bool
+    ) -> None:
+        inst = block.instructions[index]
+        label = block.label
+        if isinstance(inst, Jump):
             self._emit_edge(indent, label, inst.target, in_loop)
         elif isinstance(inst, Branch):
             self._w(indent, f"if {compile_expr(inst.cond)}:")
@@ -566,14 +708,422 @@ class _Emitter:
             else:
                 self._w(indent, "else:")
                 self._emit_edge(indent + 1, label, inst.else_target, in_loop)
-        elif isinstance(inst, Return):
-            value = compile_expr(inst.value) if inst.value is not None else "None"
-            self._w(indent, f"return ({value}, _snapshot(locals()), _FUEL - _fuel)")
-        elif isinstance(inst, Abort):
-            message = f"@{self.function.name}: abort at {label}:{index}"
-            self._w(indent, f"raise _Abort({message!r})")
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown instruction {inst!r}")
+        else:
+            self._emit_simple(indent, block, index)
+
+
+# ---------------------------------------------------------------------- #
+# Structured-control-flow emission.
+# ---------------------------------------------------------------------- #
+
+#: Bound on emission recursion (inline chains, branch regions).  CFGs
+#: deeper than this have no readable structured spelling anyway; they
+#: fall back to the dispatcher.
+_MAX_EMIT_DEPTH = 200
+
+_NO_GUARDS: FrozenSet[ProgramPoint] = frozenset()
+
+
+class _StructuredEmitter(_EmitterBase):
+    """Reconstructs nested ``while``/``if`` Python from the CFG.
+
+    Emission walks the CFG once, maintaining a stack of *context frames*:
+
+    * a **loop frame** ``("loop", header, follow)`` is open between the
+      emitted ``while True:`` and its end — a transfer to ``header``
+      spells ``continue``, a transfer to ``follow`` spells ``break``;
+    * a **join frame** ``("join", label)`` is open while emitting the
+      arms of a branch whose arms reconverge at ``label`` (the branch
+      block's immediate postdominator) — a transfer to ``label`` simply
+      *falls off* the arm, and the join block is emitted once after the
+      ``if``/``else``.
+
+    Any transfer with no structured spelling under the current context
+    raises :class:`UnstructurableCFG`, which the compiler turns into a
+    dispatcher fallback for the whole function.
+
+    Phi moves ride the edges as in the dispatcher (before ``continue``,
+    before ``break``, on arm fall-through); ``_prev`` is maintained on
+    every edge, but only for functions containing guards — it is
+    observable solely through :class:`GuardFailure`.  Fuel is charged
+    once per loop iteration rather than per block transfer.
+    """
+
+    kind = "structured"
+
+    def __init__(
+        self,
+        function: Function,
+        entry: Optional[ProgramPoint],
+        *,
+        unswitch: bool = True,
+        fuse: bool = True,
+    ) -> None:
+        super().__init__(function, entry)
+        self.info = StructureInfo(function)
+        self.info.require_structurable()
+        self.track_prev = any(
+            isinstance(inst, Guard)
+            for block in function.iter_blocks()
+            for inst in block.instructions
+        )
+        self.fused: Dict[str, FusedCompareBranch] = (
+            fusible_compare_branches(function) if fuse else {}
+        )
+        #: Guard-unswitching plans per loop header.  Disabled in OSR
+        #: stubs: a stub enters mid-iteration, where the pre-check's
+        #: "guards cannot fail in the fast copy" argument does not cover
+        #: the resumed partial iteration.
+        self.plans: Dict[str, List[HoistableGuard]] = {}
+        if unswitch and entry is None and self.track_prev:
+            for header, guards in invariant_guard_plan(function, self.info).items():
+                safe = [g for g in guards if _expr_is_total(g.precheck)]
+                if safe and header in self.info.shapes:
+                    self.plans[header] = safe
+        self._depth = 0
+
+    # -------------------------------------------------------------- #
+    def emit(self) -> str:
+        self._emit_prelude()
+        start_block, start_index = self._emit_entry_bindings()
+        body_start = len(self.function.blocks[start_block].phis())
+        if start_index <= body_start:
+            # Block-head entry: normal emission.  If the landing block is
+            # a loop header this opens the reconstructed loop directly —
+            # the OSR transition enters the structured loop at an
+            # iteration boundary with live state restored.
+            falls = self._emit_chain(start_block, (), 1, _NO_GUARDS)
+        else:
+            # Mid-block entry: peel the remainder of the interrupted
+            # iteration as straight-line code; its terminator re-enters
+            # reconstructed loops at their headers (loop extraction).
+            falls = self._emit_block_body(
+                start_block, (), 1, start_index, _NO_GUARDS
+            )
+        if falls:  # pragma: no cover - no join frame exists at the root
+            raise UnstructurableCFG(
+                f"@{self.function.name}: control fell off the function root"
+            )
+        return "\n".join(self.lines) + "\n"
+
+    # -------------------------------------------------------------- #
+    def _emit_chain(
+        self,
+        label: str,
+        ctx: Tuple[Tuple[str, ...], ...],
+        indent: int,
+        omitted: FrozenSet[ProgramPoint],
+    ) -> bool:
+        """Emit the region starting at ``label``; True if control falls
+        off toward the innermost pending join."""
+        self._depth += 1
+        try:
+            if self._depth > _MAX_EMIT_DEPTH:
+                raise UnstructurableCFG(
+                    f"@{self.function.name}: structured emission exceeds the "
+                    f"nesting limit"
+                )
+            shape = self.info.shapes.get(label)
+            if shape is not None and not self._loop_open(label, ctx):
+                return self._emit_loop(label, shape, ctx, indent, omitted)
+            block = self.function.blocks[label]
+            return self._emit_block_body(
+                label, ctx, indent, len(block.phis()), omitted
+            )
+        finally:
+            self._depth -= 1
+
+    @staticmethod
+    def _loop_open(label: str, ctx: Tuple[Tuple[str, ...], ...]) -> bool:
+        return any(frame[0] == "loop" and frame[1] == label for frame in ctx)
+
+    @staticmethod
+    def _resolve_ctx(
+        to_label: str, ctx: Tuple[Tuple[str, ...], ...]
+    ) -> Optional[str]:
+        """How the context spells a transfer to ``to_label``.
+
+        Returns ``"fall"`` (innermost pending join), ``"continue"`` /
+        ``"break"`` (innermost loop frame), ``"unstructured"`` (the
+        target is pinned behind a frame that ``continue``/``break``
+        cannot cross), or ``None`` (not addressable — inline it).
+        """
+        crossed_join = False
+        crossed_loop = False
+        for frame in reversed(ctx):
+            if frame[0] == "join":
+                if frame[1] == to_label:
+                    if crossed_join or crossed_loop:
+                        return "unstructured"
+                    return "fall"
+                crossed_join = True
+            else:
+                if frame[1] == to_label:
+                    return "unstructured" if crossed_loop else "continue"
+                if frame[2] == to_label:
+                    return "unstructured" if crossed_loop else "break"
+                crossed_loop = True
+        return None
+
+    # -------------------------------------------------------------- #
+    def _emit_loop(
+        self,
+        header: str,
+        shape,
+        ctx: Tuple[Tuple[str, ...], ...],
+        indent: int,
+        omitted: FrozenSet[ProgramPoint],
+    ) -> bool:
+        guards = [g for g in self.plans.get(header, ()) if g.point not in omitted]
+        if guards:
+            # Guard unswitching: one pre-check picks between a fast copy
+            # with the invariant guards omitted and a slow copy keeping
+            # every guard at its exact program point (so a failing guard
+            # carries interpreter-identical deopt state).
+            self._w(indent, f"if {self._precheck(guards)}:")
+            fast = omitted | {g.point for g in guards}
+            self._emit_while(header, shape, ctx, indent + 1, fast)
+            self._w(indent, "else:")
+            self._emit_while(header, shape, ctx, indent + 1, omitted)
+        else:
+            self._emit_while(header, shape, ctx, indent, omitted)
+        if shape.follow is None:
+            return False  # the loop never exits; nothing follows it
+        return self._emit_after_loop(shape.follow, ctx, indent, omitted)
+
+    def _emit_while(
+        self,
+        header: str,
+        shape,
+        ctx: Tuple[Tuple[str, ...], ...],
+        indent: int,
+        omitted: FrozenSet[ProgramPoint],
+    ) -> None:
+        self._w(indent, "while True:")
+        self._w(indent + 1, "_fuel -= 1")
+        self._w(indent + 1, "if _fuel < 0:")
+        self._w(
+            indent + 2,
+            "raise _StepLimit('compiled execution exceeded the step limit "
+            "of %d block transfers' % _FUEL)",
+        )
+        inner = ctx + (("loop", header, shape.follow),)
+        block = self.function.blocks[header]
+        falls = self._emit_block_body(
+            header, inner, indent + 1, len(block.phis()), omitted
+        )
+        if falls:  # pragma: no cover - loop frames never resolve to "fall"
+            raise UnstructurableCFG(
+                f"@{self.function.name}: loop body at {header} fell through"
+            )
+
+    def _emit_after_loop(
+        self,
+        follow: str,
+        ctx: Tuple[Tuple[str, ...], ...],
+        indent: int,
+        omitted: FrozenSet[ProgramPoint],
+    ) -> bool:
+        """Continue at the loop follow.  The phi moves for every way of
+        reaching it were already emitted on the ``break`` edges."""
+        resolved = self._resolve_ctx(follow, ctx)
+        if resolved == "unstructured":
+            raise UnstructurableCFG(
+                f"@{self.function.name}: loop follow {follow} is pinned "
+                f"behind an enclosing loop"
+            )
+        if resolved == "fall":
+            return True
+        if resolved is not None:
+            self._w(indent, resolved)
+            return False
+        return self._emit_chain(follow, ctx, indent, omitted)
+
+    def _precheck(self, guards: Sequence[HoistableGuard]) -> str:
+        checks = sorted({name for g in guards for name in g.undef_checks})
+        parts = [f"{mangle(name)} is not _U" for name in checks]
+        seen = set()
+        for g in guards:
+            src = compile_expr(g.precheck)
+            if src not in seen:
+                seen.add(src)
+                parts.append(src)
+        return " and ".join(parts)
+
+    # -------------------------------------------------------------- #
+    def _emit_block_body(
+        self,
+        label: str,
+        ctx: Tuple[Tuple[str, ...], ...],
+        indent: int,
+        body_start: int,
+        omitted: FrozenSet[ProgramPoint],
+    ) -> bool:
+        block = self.function.blocks[label]
+        insts = block.instructions
+        if not insts or not insts[-1].is_terminator:  # pragma: no cover - verify
+            raise UnstructurableCFG(
+                f"@{self.function.name}: block {label} lacks a terminator"
+            )
+        last = len(insts) - 1
+        fused = self.fused.get(label)
+        if fused is not None and body_start > last - 1:
+            # Entering past the comparison (OSR remainder): the operands
+            # may be absent from the transferred environment, so branch
+            # on the transferred temp like the interpreter would.
+            fused = None
+        for index in range(body_start, last):
+            if fused is not None and index == last - 1:
+                continue  # the comparison is folded into the branch below
+            inst = insts[index]
+            if isinstance(inst, Guard) and ProgramPoint(label, index) in omitted:
+                continue  # unswitched out of this loop copy
+            self._emit_simple(indent, block, index)
+        term = insts[last]
+        if isinstance(term, Jump):
+            return self._emit_transfer(indent, label, term.target, ctx, omitted)
+        if isinstance(term, Branch):
+            return self._emit_branch(block, term, ctx, indent, omitted, fused)
+        self._emit_simple(indent, block, last)  # Return / Abort
+        return False
+
+    def _emit_edge_moves(self, indent: int, from_label: str, to_label: str) -> None:
+        phis = self.function.blocks[to_label].phis()
+        if phis:
+            self._emit_phi_moves(indent, phis, from_label)
+        if self.track_prev:
+            self._w(indent, f"_prev = {from_label!r}")
+
+    def _emit_transfer(
+        self,
+        indent: int,
+        from_label: str,
+        to_label: str,
+        ctx: Tuple[Tuple[str, ...], ...],
+        omitted: FrozenSet[ProgramPoint],
+    ) -> bool:
+        """Emit one CFG edge under the current context; True if control
+        falls toward the innermost pending join."""
+        if to_label not in self.function.blocks:
+            message = f"@{self.function.name}: unknown block {to_label!r}"
+            self._w(indent, f"raise KeyError({message!r})")
+            return False
+        resolved = self._resolve_ctx(to_label, ctx)
+        if resolved == "unstructured":
+            raise UnstructurableCFG(
+                f"@{self.function.name}: no structured spelling for the edge "
+                f"{from_label} -> {to_label}"
+            )
+        if resolved == "fall":
+            self._emit_edge_moves(indent, from_label, to_label)
+            return True
+        if resolved is not None:
+            self._emit_edge_moves(indent, from_label, to_label)
+            self._w(indent, resolved)
+            return False
+        # Not addressable: inline the target here.  Loop headers open
+        # their reconstructed loop (multi-entry loops are duplicated per
+        # entry edge, each copy self-contained); plain blocks must have a
+        # unique predecessor or the region has no structured position.
+        if self.info.shapes.get(to_label) is None:
+            preds = {
+                p
+                for p in self.info.cfg.preds(to_label)
+                if p in self.info.reachable
+            }
+            if len(preds) != 1:
+                raise UnstructurableCFG(
+                    f"@{self.function.name}: block {to_label} joins several "
+                    f"paths but has no structured position"
+                )
+        self._emit_edge_moves(indent, from_label, to_label)
+        return self._emit_chain(to_label, ctx, indent, omitted)
+
+    def _emit_branch(
+        self,
+        block: BasicBlock,
+        inst: Branch,
+        ctx: Tuple[Tuple[str, ...], ...],
+        indent: int,
+        omitted: FrozenSet[ProgramPoint],
+        fused: Optional[FusedCompareBranch],
+    ) -> bool:
+        label = block.label
+        then_t, else_t = inst.then_target, inst.else_target
+        if then_t == else_t:
+            # Degenerate branch: still evaluate the condition (it may
+            # observe an unbound register, like the interpreter would).
+            self._w(indent, f"if {compile_expr(inst.cond)}:")
+            self._w(indent + 1, "pass")
+            return self._emit_transfer(indent, label, then_t, ctx, omitted)
+
+        if fused is not None:
+            compare = fused.compare
+            cond_src = (
+                f"{compile_expr(compare.lhs)} "
+                f"{_COMPARE_BINOPS[compare.op]} {compile_expr(compare.rhs)}"
+            )
+            # The fused temp stays environment-observable (snapshots at
+            # guards and returns contain every register the interpreter
+            # assigned), so re-materialize it as the constant branch
+            # outcome on each arm.
+            then_extra: Optional[str] = f"{mangle(fused.temp)} = 1"
+            else_extra: Optional[str] = f"{mangle(fused.temp)} = 0"
+        else:
+            cond_src = compile_expr(inst.cond)
+            then_extra = else_extra = None
+
+        join = self._local_join(label, ctx)
+        arm_ctx = ctx + (("join", join),) if join is not None else ctx
+
+        self._w(indent, f"if {cond_src}:")
+        mark = len(self.lines)
+        if then_extra:
+            self._w(indent + 1, then_extra)
+        then_falls = self._emit_transfer(indent + 1, label, then_t, arm_ctx, omitted)
+        if len(self.lines) == mark:
+            self._w(indent + 1, "pass")
+        if then_falls:
+            self._w(indent, "else:")
+            mark = len(self.lines)
+            if else_extra:
+                self._w(indent + 1, else_extra)
+            else_falls = self._emit_transfer(
+                indent + 1, label, else_t, arm_ctx, omitted
+            )
+            if len(self.lines) == mark:
+                self._w(indent + 1, "pass")
+        else:
+            # The then arm never reaches the code after the ``if`` —
+            # dedent the else arm instead of nesting it.
+            if else_extra:
+                self._w(indent, else_extra)
+            else_falls = self._emit_transfer(indent, label, else_t, arm_ctx, omitted)
+
+        reached = then_falls or else_falls
+        if join is None:
+            return reached
+        if not reached:  # pragma: no cover - the join postdominates the branch
+            return False
+        return self._emit_chain(join, ctx, indent, omitted)
+
+    def _local_join(
+        self, label: str, ctx: Tuple[Tuple[str, ...], ...]
+    ) -> Optional[str]:
+        """The block where this branch's arms reconverge, if it can be
+        emitted right after the ``if``/``else``."""
+        join = self.info.postdoms.immediate(label)
+        if join is None or join == VIRTUAL_EXIT:
+            return None
+        if self._resolve_ctx(join, ctx) is not None:
+            return None  # already addressable — the arms use the context
+        domtree = self.info.domtree
+        for pred in self.info.cfg.preds(join):
+            if pred in self.info.reachable and not domtree.dominates(label, pred):
+                # Some other path reaches the join; emitting it after
+                # this branch would misplace it.
+                return None
+        return join
 
 
 def compile_ir_function(
@@ -582,8 +1132,9 @@ def compile_ir_function(
     *,
     step_limit: int = 2_000_000,
     resolve_call=None,
+    codegen: Optional[str] = None,
 ) -> CompiledFunction:
     """One-shot convenience wrapper around :class:`ClosureCompiler`."""
-    return ClosureCompiler(step_limit=step_limit, resolve_call=resolve_call).compile(
-        function, entry
-    )
+    return ClosureCompiler(
+        step_limit=step_limit, resolve_call=resolve_call, codegen=codegen
+    ).compile(function, entry)
