@@ -55,6 +55,18 @@ Emits ``BENCH_speculation.json`` with three kinds of metrics:
   vs with a background worker — background compilation must shave the
   compile stall off the request path (``--stall-floor``, default 1.2).
 
+* **polymorphic dispatch** — ``multiverse_vs_single`` per polymorphic
+  kernel: the steady-state wall-clock ratio of a ``max_versions=4``
+  engine over a ``max_versions=1`` engine on a phase-alternating input
+  regime (a few hot ``mode`` values traded in blocks).  The multiverse
+  engine keeps one arm-pruned specialized version per phase and entry
+  dispatch routes each call to it; the single-version engine settles on
+  one compromise version.  The recording hard-asserts the multiverse
+  formed (>= 2 live versions), bounded its recompiles by
+  ``max_versions`` and stopped deoptimizing in the steady state; the
+  ``--polymorphic-floor`` gate (default 2x) requires the ratio to clear
+  the floor on at least 2 of the 3 kernels.
+
 * **warm starts** — ``cold_vs_warm_start`` per call-heavy kernel: the
   worst single-call latency inside a cold engine's warmup window
   (profiled base-tier calls plus the synchronous tier-up stall) versus
@@ -109,11 +121,15 @@ from repro.workloads import (  # noqa: E402
     CALL_KERNEL_NAMES,
     CALL_KERNEL_SOURCES,
     LOOP_KERNEL_NAMES,
+    POLYMORPHIC_NAMES,
     STRAIGHT_LINE_NAMES,
     benchmark_arguments,
     benchmark_function,
     call_kernel_arguments,
     call_kernel_module,
+    polymorphic_arguments,
+    polymorphic_function,
+    polymorphic_phases,
     speculative_arguments,
     speculative_function,
     straightline_arguments,
@@ -821,6 +837,122 @@ def _cold_vs_warm_start() -> dict:
     }
 
 
+#: Calls per phase block in the polymorphic-dispatch measurement; small
+#: enough that a timed batch visits every phase several times, large
+#: enough that a phase's calls amortize its first dispatch switch.
+POLYMORPHIC_BLOCK = 8
+
+#: Full phase cycles driven through each engine before timing, so both
+#: regimes reach their steady state (the multiverse finishes growing its
+#: per-phase versions; the single-version engine finishes refuting its
+#: cross-phase speculations).
+POLYMORPHIC_WARM_CYCLES = 5
+
+#: Version-table bound of the multiverse engine under measurement.
+POLYMORPHIC_MAX_VERSIONS = 4
+
+
+def _polymorphic_dispatch(repeats: int) -> dict:
+    """Phase-alternating steady state: version multiverse vs single version.
+
+    Each polymorphic kernel dispatches every iteration through a long
+    ``mode`` if-else chain, and the driver alternates between a few hot
+    ``mode`` values in blocks — the workload the version multiverse
+    exists for.  Two identically configured engines differ only in
+    ``max_versions``: the single-version engine (the pre-multiverse
+    behavior) settles on one compromise version, while the multiverse
+    engine keeps one arm-pruned specialized version per phase cluster
+    and entry dispatch routes each call to it.
+
+    Recorded per kernel: the steady-state wall-clock ratio
+    (``multiverse_vs_single``, sampled alternately so clock drift
+    cancels), the live version count, and each engine's ``TierUp``
+    total.  The recording hard-asserts what the ``--check`` floor can't
+    see: the multiverse actually formed (>= 2 live versions), its
+    recompile count stayed within ``max_versions`` (specialization must
+    not degenerate into recompile churn), and its steady state stopped
+    deoptimizing.  The ``--polymorphic-floor`` gate then requires the
+    ratio to clear the floor (default 2x) on at least 2 kernels.
+    """
+    from repro.engine import TierUp
+
+    speedups: dict = {}
+    versions: dict = {}
+    tier_ups: dict = {}
+    for name in POLYMORPHIC_NAMES:
+        function = polymorphic_function(name)
+        per_phase = [
+            (mode, polymorphic_arguments(name, mode))
+            for mode in polymorphic_phases(name)
+        ]
+        engines = {}
+        for max_versions in (1, POLYMORPHIC_MAX_VERSIONS):
+            engine = Engine.from_functions(
+                function,
+                config=EngineConfig(
+                    hotness_threshold=3,
+                    min_samples=2,
+                    opt_backend="compiled",
+                    max_versions=max_versions,
+                ),
+            )
+            for _ in range(POLYMORPHIC_WARM_CYCLES):
+                for _mode, (args, memory) in per_phase:
+                    for _ in range(POLYMORPHIC_BLOCK):
+                        engine.call(name, args, memory=memory)
+            engines[max_versions] = engine
+
+        multi = engines[POLYMORPHIC_MAX_VERSIONS]
+        stats = multi.stats(name)
+        if stats.versions < 2:
+            raise AssertionError(
+                f"{name}: multiverse grew only {stats.versions} version(s) "
+                f"after warmup; entry clustering never specialized"
+            )
+        compiles = sum(1 for event in multi.events if isinstance(event, TierUp))
+        if compiles > POLYMORPHIC_MAX_VERSIONS:
+            raise AssertionError(
+                f"{name}: {compiles} TierUp events exceed "
+                f"max_versions={POLYMORPHIC_MAX_VERSIONS}; the multiverse "
+                f"is churning recompiles instead of reusing versions"
+            )
+        failures_before = stats.guard_failures
+
+        def batch(engine=None):
+            for _mode, (args, memory) in per_phase:
+                for _ in range(POLYMORPHIC_BLOCK):
+                    engine.call(name, args, memory=memory)
+
+        single_time, multi_time = _ab_medians(
+            lambda: batch(engines[1]),
+            lambda: batch(engines[POLYMORPHIC_MAX_VERSIONS]),
+            repeats,
+        )
+        steady_failures = multi.stats(name).guard_failures - failures_before
+        if steady_failures:
+            raise AssertionError(
+                f"{name}: the multiverse steady state still took "
+                f"{steady_failures} guard failure(s); a specialized version "
+                f"carries a speculation its own phase violates"
+            )
+        speedups[name] = round(single_time / multi_time, 4)
+        versions[name] = stats.versions
+        tier_ups[name] = {
+            "single": sum(
+                1 for event in engines[1].events if isinstance(event, TierUp)
+            ),
+            "multiverse": compiles,
+        }
+    return {
+        "multiverse_vs_single": speedups,
+        "versions": versions,
+        "tier_ups": tier_ups,
+        "max_versions": POLYMORPHIC_MAX_VERSIONS,
+        "phases": {name: list(polymorphic_phases(name)) for name in POLYMORPHIC_NAMES},
+        "second_best_speedup": sorted(speedups.values(), reverse=True)[1],
+    }
+
+
 #: Recordable sections, in recording order.  ``--only`` narrows a run to
 #: a subset (the free-threaded CI lane records just ``concurrency``);
 #: the check gates only what was recorded.
@@ -832,6 +964,7 @@ SECTION_NAMES = (
     "events",
     "concurrency",
     "warm_start",
+    "polymorphic",
 )
 
 
@@ -844,6 +977,7 @@ def record(repeats: int, only=None, dump_sources: Path = None) -> dict:
         "events": lambda: _event_overhead(repeats),
         "concurrency": lambda: {**_concurrent_throughput(), **_compile_stall()},
         "warm_start": _cold_vs_warm_start,
+        "polymorphic": lambda: _polymorphic_dispatch(repeats),
     }
     assert set(sections) == set(SECTION_NAMES)
     chosen = [
@@ -871,10 +1005,39 @@ def check(
     concurrent_scaling_floor: float = None,
     stall_floor: float = 1.2,
     warm_floor: float = 2.0,
+    polymorphic_floor: float = 2.0,
+    polymorphic_floor_kernels: int = 2,
 ) -> list:
     problems = []
     floors = dict(LOOP_SPEEDUP_FLOORS)
     floors.update(speedup_floors or {})
+
+    # Polymorphic dispatch: a hard floor against the *current* recording
+    # only (the ratio is machine-shaped).  At least
+    # `polymorphic_floor_kernels` kernels must show the multiverse
+    # holding its specialized steady state over the single-version
+    # engine's compromise — the whole point of keeping multiple
+    # per-profile versions live.
+    polymorphic = current.get("polymorphic", {})
+    if polymorphic:
+        poly_ratios = polymorphic.get("multiverse_vs_single", {})
+        cleared = [
+            key for key, ratio in poly_ratios.items() if ratio >= polymorphic_floor
+        ]
+        if len(cleared) < polymorphic_floor_kernels:
+            problems.append(
+                f"polymorphic dispatch {poly_ratios}: the multiverse clears "
+                f"the {polymorphic_floor}x floor on only {len(cleared)} "
+                f"kernel(s) (need {polymorphic_floor_kernels})"
+            )
+        max_versions = polymorphic.get("max_versions", POLYMORPHIC_MAX_VERSIONS)
+        for key, counts in polymorphic.get("tier_ups", {}).items():
+            if counts.get("multiverse", 0) > max_versions:
+                problems.append(
+                    f"polymorphic dispatch on {key}: "
+                    f"{counts.get('multiverse')} recompiles exceed "
+                    f"max_versions={max_versions}"
+                )
 
     # Warm starts: a hard floor against the *current* recording only.
     # At least one kernel must show the persistent store visibly erasing
@@ -1079,6 +1242,22 @@ def main(argv=None) -> int:
             "by a store-hydrated warm start (at least one kernel must clear it)"
         ),
     )
+    parser.add_argument(
+        "--polymorphic-floor",
+        type=float,
+        default=2.0,
+        help=(
+            "minimum accepted multiverse-vs-single-version steady-state "
+            "speedup on the phase-alternating polymorphic kernels "
+            "(at least --polymorphic-floor-kernels must clear it)"
+        ),
+    )
+    parser.add_argument(
+        "--polymorphic-floor-kernels",
+        type=int,
+        default=2,
+        help="how many polymorphic kernels must clear --polymorphic-floor",
+    )
     parser.add_argument("--repeats", type=int, default=30)
     parser.add_argument(
         "--only",
@@ -1160,6 +1339,8 @@ def main(argv=None) -> int:
         options.concurrent_scaling_floor,
         options.stall_floor,
         options.warm_floor,
+        options.polymorphic_floor,
+        options.polymorphic_floor_kernels,
     )
     if problems:
         print("benchmark regression check FAILED:", file=sys.stderr)

@@ -25,6 +25,7 @@ from .events import (
     ContinuationHit,
     DeoptimizingOSR,
     DispatchedOSR,
+    EntryDispatched,
     EventBus,
     GuardFailed,
     Invalidated,
@@ -36,7 +37,9 @@ from .events import (
     SpeculationRejected,
     Tier,
     TierUp,
+    VersionAdded,
     VersionRestored,
+    VersionRetired,
 )
 from .policy import AlwaysCompile, HotnessPolicy, NeverCompile, TieringPolicy
 from .stats import EngineStats, StatsCollector
@@ -69,6 +72,9 @@ __all__ = [
     "RuntimeEvent",
     "TierUp",
     "VersionRestored",
+    "VersionAdded",
+    "VersionRetired",
+    "EntryDispatched",
     "SpeculationRejected",
     "OptimizingOSR",
     "OSREntryRejected",

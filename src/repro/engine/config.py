@@ -93,6 +93,10 @@ class EngineConfig:
     hotness_threshold: int = 3
     #: Repeated failures at one guard before its assumption is refuted.
     invalidate_after: int = 2
+    #: Live specialized versions a function may keep (the version
+    #: multiverse bound).  ``1`` pins the historical single-version
+    #: behaviour: one generic version, no profile-keyed entry dispatch.
+    max_versions: int = 4
 
     # --- speculation ---------------------------------------------------- #
     speculate: bool = True
@@ -145,6 +149,8 @@ class EngineConfig:
                  f"hotness_threshold must be >= 1, got {self.hotness_threshold}")
         _require(self.invalidate_after >= 1,
                  f"invalidate_after must be >= 1, got {self.invalidate_after}")
+        _require(self.max_versions >= 1,
+                 f"max_versions must be >= 1, got {self.max_versions}")
         _require(self.min_samples >= 1,
                  f"min_samples must be >= 1, got {self.min_samples}")
         _require(0.0 < self.min_ratio <= 1.0,

@@ -55,6 +55,9 @@ __all__ = [
     "RuntimeEvent",
     "TierUp",
     "VersionRestored",
+    "VersionAdded",
+    "VersionRetired",
+    "EntryDispatched",
     "SpeculationRejected",
     "OptimizingOSR",
     "OSREntryRejected",
@@ -119,6 +122,11 @@ class TierUp(RuntimeEvent):
     inlined_frames: int = 0
     #: The tier the function landed in (always optimized for a tier-up).
     tier: Tier = Tier.OPTIMIZED
+    #: The entry-profile cluster the version is keyed by (rendered
+    #: :class:`~repro.vm.profile.VersionKey`; ``"generic"`` matches all).
+    key: str = "generic"
+    #: Live versions in the function's multiverse after the install.
+    versions: int = 1
 
     kind: ClassVar[str] = "tier-up"
 
@@ -138,8 +146,68 @@ class VersionRestored(RuntimeEvent):
     guards: int = 0
     inlined_frames: int = 0
     tier: Tier = Tier.OPTIMIZED
+    key: str = "generic"
+    versions: int = 1
 
     kind: ClassVar[str] = "version-restored"
+
+
+@dataclass(frozen=True)
+class VersionAdded(RuntimeEvent):
+    """The multiverse grew: a version joined a function's version table.
+
+    Published alongside the :class:`TierUp` (or :class:`VersionRestored`)
+    whenever the installed version is *specialized* (non-generic key) or
+    joins a table that already holds another live version.  The very
+    first generic install of a single-version function publishes only
+    the plain :class:`TierUp`, so pre-multiverse event streams are
+    unchanged.
+    """
+
+    key: str = "generic"
+    #: Live versions in the table after the add.
+    versions: int = 1
+
+    kind: ClassVar[str] = "version-added"
+
+
+@dataclass(frozen=True)
+class VersionRetired(RuntimeEvent):
+    """A cold version was evicted to keep the multiverse within bound.
+
+    Carries the same gauge payload as :class:`Invalidated` (the facts of
+    the surviving newest version) so the stats fold stays an exact
+    mirror of the runtime's own counters.
+    """
+
+    key: str = "generic"
+    #: Live versions in the table after the eviction.
+    versions: int = 0
+    speculative: bool = False
+    guards: int = 0
+    inlined_frames: int = 0
+    #: Cached continuations surviving the eviction (the retired
+    #: version's continuations die with it).
+    continuations: int = 0
+
+    kind: ClassVar[str] = "version-retired"
+
+
+@dataclass(frozen=True)
+class EntryDispatched(RuntimeEvent):
+    """A call (or OSR entry) was dispatched to a best-matching version.
+
+    Only multiverse dispatches publish this — the selected version is
+    specialized, or the table held more than one candidate.  A function
+    living its whole life as a single generic version emits none, which
+    keeps warm steady-state calls event-free exactly as before.
+    """
+
+    key: str = "generic"
+    #: Live versions the dispatch chose among.
+    versions: int = 1
+
+    kind: ClassVar[str] = "entry-dispatched"
 
 
 @dataclass(frozen=True)
@@ -239,8 +307,21 @@ class Invalidated(RuntimeEvent):
     """
 
     reason: Optional[str] = None
-    #: The tier the function falls back to (always base after discard).
+    #: The tier the function falls back to — base when the discarded
+    #: version was the last one, optimized when other versions survive.
     tier: Tier = Tier.BASE
+    #: The key of the discarded version.
+    key: str = "generic"
+    #: Live versions surviving the discard (0 == the historical
+    #: single-version invalidation, which drops to the base tier).
+    versions: int = 0
+    #: Gauge payload of the surviving newest version (all zero when
+    #: nothing survives), mirrored into the stats fold.
+    speculative: bool = False
+    guards: int = 0
+    inlined_frames: int = 0
+    #: Cached continuations surviving the discard.
+    continuations: int = 0
 
     kind: ClassVar[str] = "invalidated"
 

@@ -77,14 +77,22 @@ def __getattr__(name: str):
 
 @dataclass(frozen=True)
 class VersionInfo:
-    """A read-only description of a function's installed version.
+    """A read-only description of one installed version.
 
     The supported replacement for reaching through ``handle.state`` into
     runtime internals: the current :class:`~repro.engine.events.Tier`,
-    whether the installed version speculates (and on how many guards),
-    how many frames its deopt plans reconstruct, and the
+    whether the version speculates (and on how many guards), how many
+    frames its deopt plans reconstruct, and the
     :class:`~repro.store.artifacts.ArtifactKey` the version would be
     persisted under (``None`` while the function is base-tier).
+
+    With a version multiverse (``EngineConfig.max_versions > 1``) a
+    function may hold several of these at once — one per entry-profile
+    cluster; see :attr:`FunctionHandle.versions`.  ``key`` renders the
+    version's :class:`~repro.vm.profile.VersionKey` (``"generic"`` for
+    the unspecialized build), ``hits`` counts the entry dispatches it
+    served, and ``dispatched`` marks the version the most recent call
+    selected.
     """
 
     tier: Tier
@@ -92,6 +100,9 @@ class VersionInfo:
     guards: int
     inlined_frames: int
     artifact_key: Optional["ArtifactKey"]
+    key: str = "generic"
+    hits: int = 0
+    dispatched: bool = False
 
     @property
     def is_compiled(self) -> bool:
@@ -139,9 +150,8 @@ class FunctionHandle:
         stable snapshot — safe to hold across tier transitions — and it
         carries the artifact key the version persists under.
         """
-        state = self.state
-        version = state.version
-        if version is None:
+        infos = self.versions
+        if not infos:
             return VersionInfo(
                 tier=Tier.BASE,
                 speculative=False,
@@ -149,19 +159,46 @@ class FunctionHandle:
                 inlined_frames=0,
                 artifact_key=None,
             )
+        return infos[-1]
+
+    @property
+    def versions(self) -> List[VersionInfo]:
+        """The live version multiverse, oldest first (read-only).
+
+        One frozen :class:`VersionInfo` per installed version, each
+        carrying its entry-profile ``key`` and dispatch ``hits``; the
+        version the most recent call dispatched to has
+        ``dispatched=True``.  Empty while the function is base-tier;
+        a single generic entry reproduces the pre-multiverse view.
+        """
+        state = self.state
+        with state.lock:
+            entries = [
+                (entry.key, entry.version, entry.hits) for entry in state.versions
+            ]
+            dispatched_key = state.last_dispatched_key
+        if not entries:
+            return []
         from ..store.artifacts import ArtifactKey, function_ir_hash
 
-        return VersionInfo(
-            tier=Tier.OPTIMIZED,
-            speculative=version.speculative,
-            guards=len(version.pair.guard_points()),
-            inlined_frames=version.inlined_frames,
-            artifact_key=ArtifactKey(
-                function=self.name,
-                base_ir_hash=function_ir_hash(state.base),
-                config_fingerprint=self._engine.config.fingerprint(),
-            ),
+        artifact_key = ArtifactKey(
+            function=self.name,
+            base_ir_hash=function_ir_hash(state.base),
+            config_fingerprint=self._engine.config.fingerprint(),
         )
+        return [
+            VersionInfo(
+                tier=Tier.OPTIMIZED,
+                speculative=version.speculative,
+                guards=len(version.pair.guard_points()),
+                inlined_frames=version.inlined_frames,
+                artifact_key=artifact_key,
+                key=str(key),
+                hits=hits,
+                dispatched=key == dispatched_key,
+            )
+            for key, version, hits in entries
+        ]
 
     @property
     def speculative(self) -> bool:

@@ -40,6 +40,7 @@ from ..ir.function import ProgramPoint
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.frames import DeoptPlan
+    from ..vm.profile import VersionKey
     from ..vm.runtime import TieredFunction
     from .config import EngineConfig
 
@@ -97,6 +98,24 @@ class TieringPolicy(Protocol):
         """Refute the speculation after ``failures`` failures at ``point``?"""
         ...
 
+    def should_add_version(
+        self,
+        state: "TieredFunction",
+        key: "VersionKey",
+        config: "EngineConfig",
+    ) -> bool:
+        """Grow ``state``'s multiverse with a version specialized to ``key``?
+
+        Consulted (inside the state lock, like
+        :meth:`should_compile`) before the runtime claims a compile for
+        a hot entry-profile cluster while other versions are live.
+        Return ``False`` to veto multiverse growth; the call keeps being
+        served by the base tier or the best generic match.  The
+        mechanism has already checked the hard bounds (``key`` is hot,
+        clustering is stable, ``config.max_versions`` permits a table).
+        """
+        ...
+
 
 class HotnessPolicy:
     """The default policy: counters against the config's thresholds.
@@ -140,6 +159,14 @@ class HotnessPolicy:
         config: "EngineConfig",
     ) -> bool:
         return failures >= config.invalidate_after
+
+    def should_add_version(
+        self,
+        state: "TieredFunction",
+        key: "VersionKey",
+        config: "EngineConfig",
+    ) -> bool:
+        return True
 
 
 class AlwaysCompile(HotnessPolicy):

@@ -28,13 +28,16 @@ from .events import (
     ContinuationEvicted,
     DeoptimizingOSR,
     DispatchedOSR,
+    EntryDispatched,
     GuardFailed,
     Invalidated,
     MultiFrameDeopt,
     OptimizingOSR,
     RuntimeEvent,
     TierUp,
+    VersionAdded,
     VersionRestored,
+    VersionRetired,
 )
 
 __all__ = ["EngineStats", "StatsCollector"]
@@ -57,6 +60,11 @@ class EngineStats:
     dispatch_hits: int = 0
     dispatch_misses: int = 0
     continuations: int = 0
+    #: Live versions in the function's multiverse (gauge).
+    versions: int = 0
+    versions_added: int = 0
+    versions_retired: int = 0
+    entry_dispatches: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """The legacy ``AdaptiveRuntime.stats()`` dict shape."""
@@ -74,6 +82,10 @@ class EngineStats:
             "dispatch_hits": self.dispatch_hits,
             "dispatch_misses": self.dispatch_misses,
             "continuations": self.continuations,
+            "versions": self.versions,
+            "versions_added": self.versions_added,
+            "versions_retired": self.versions_retired,
+            "entry_dispatches": self.entry_dispatches,
         }
 
 
@@ -124,7 +136,27 @@ class StatsCollector:
                 speculative=int(event.speculative),
                 guards=event.guards,
                 inlined_frames=event.inlined_frames,
+                versions=event.versions,
             )
+        elif isinstance(event, VersionAdded):
+            stats = replace(
+                stats,
+                versions=event.versions,
+                versions_added=stats.versions_added + 1,
+            )
+        elif isinstance(event, VersionRetired):
+            stats = replace(
+                stats,
+                versions=event.versions,
+                versions_retired=stats.versions_retired + 1,
+                compiled=int(event.versions > 0),
+                speculative=int(event.speculative),
+                guards=event.guards,
+                inlined_frames=event.inlined_frames,
+                continuations=event.continuations,
+            )
+        elif isinstance(event, EntryDispatched):
+            stats = replace(stats, entry_dispatches=stats.entry_dispatches + 1)
         elif isinstance(event, OptimizingOSR):
             stats = replace(stats, osr_entries=stats.osr_entries + 1)
         elif isinstance(event, GuardFailed):
@@ -148,15 +180,18 @@ class StatsCollector:
         elif isinstance(event, ContinuationEvicted):
             stats = replace(stats, continuations=stats.continuations - 1)
         elif isinstance(event, Invalidated):
-            # The installed version is gone: version gauges reset, and the
-            # continuation cache was flushed with it.
+            # The discarded version's gauges are replaced by the payload
+            # of the surviving newest version (all zeros — the historical
+            # full reset — when the multiverse is now empty); its
+            # continuations died with it.
             stats = replace(
                 stats,
                 invalidations=stats.invalidations + 1,
-                compiled=0,
-                speculative=0,
-                guards=0,
-                inlined_frames=0,
-                continuations=0,
+                compiled=int(event.versions > 0),
+                speculative=int(event.speculative),
+                guards=event.guards,
+                inlined_frames=event.inlined_frames,
+                continuations=event.continuations,
+                versions=event.versions,
             )
         self._stats[event.function] = stats

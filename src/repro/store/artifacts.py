@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..ir.function import Function
 from ..ir.printer import print_function
@@ -107,15 +107,24 @@ class FunctionArtifact:
     *every* function the tier payload references (the base function and
     each deopt-plan frame's callee) so a changed callee invalidates the
     artifact even though the caller's own body is unchanged.
+
+    ``tier_versions`` persists a whole *version multiverse*: a list of
+    ``{"key": <VersionKey JSON>, "tier": <encoded version>}`` items,
+    oldest first.  It is an additive field (the artifact format stays
+    ``1``): a single-generic-version engine omits it and ``tier`` alone
+    round-trips exactly as before, while a multiverse engine writes the
+    complete table here *and* keeps ``tier`` as the newest version's
+    payload so pre-multiverse readers still warm-start with one version.
     """
 
     key: ArtifactKey
     profile: FunctionProfile
     tier: Optional[Dict[str, object]] = None
     function_hashes: Dict[str, str] = field(default_factory=dict)
+    tier_versions: Optional[List[Dict[str, object]]] = None
 
     def as_json(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "format": ARTIFACT_FORMAT,
             "function": self.key.function,
             "base_ir_hash": self.key.base_ir_hash,
@@ -124,6 +133,9 @@ class FunctionArtifact:
             "profile": self.profile.as_json(),
             "tier": self.tier,
         }
+        if self.tier_versions is not None:
+            data["tier_versions"] = self.tier_versions
+        return data
 
     @classmethod
     def from_json(cls, data: Dict[str, object]) -> "FunctionArtifact":
@@ -145,6 +157,13 @@ class FunctionArtifact:
         tier = data.get("tier")
         if tier is not None and not isinstance(tier, dict):
             raise StoreFormatError(f"malformed tier payload: {type(tier).__name__}")
+        tier_versions = data.get("tier_versions")
+        if tier_versions is not None:
+            if not isinstance(tier_versions, list) or not all(
+                isinstance(item, dict) and isinstance(item.get("tier"), dict)
+                for item in tier_versions
+            ):
+                raise StoreFormatError("malformed tier_versions payload")
         return cls(
             key=key,
             profile=profile,
@@ -153,4 +172,5 @@ class FunctionArtifact:
                 str(name): str(digest)
                 for name, digest in dict(data.get("function_hashes", {})).items()
             },
+            tier_versions=tier_versions,
         )

@@ -32,7 +32,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from ..ir.function import Function
-from ..vm.profile import ValueProfile
+from ..vm.profile import ValueProfile, VersionKey
 from ..vm.runtime import AdaptiveRuntime
 from .artifacts import (
     ArtifactKey,
@@ -214,15 +214,22 @@ class ArtifactStore:
                 if existing is not None and existing.key == key:
                     profile = existing.profile.clone()
                     profile.merge(artifact.profile)
+                    keep_incoming_tier = artifact.tier is not None
                     merged = FunctionArtifact(
                         key=key,
                         profile=profile,
-                        tier=artifact.tier if artifact.tier is not None
+                        tier=artifact.tier if keep_incoming_tier
                         else existing.tier,
                         function_hashes={
                             **existing.function_hashes,
                             **artifact.function_hashes,
                         },
+                        # The multiverse travels with the tier payload it
+                        # describes — mixing one artifact's version table
+                        # with the other's primary tier would desync them.
+                        tier_versions=artifact.tier_versions
+                        if keep_incoming_tier
+                        else existing.tier_versions,
                     )
             self._atomic_write(
                 path, json.dumps(merged.as_json(), sort_keys=True, indent=1)
@@ -262,28 +269,46 @@ class EngineSnapshot:
 
 
 def snapshot_runtime(runtime: AdaptiveRuntime) -> EngineSnapshot:
-    """Capture every registered function's profile and installed tier."""
+    """Capture every registered function's profile and installed tier(s).
+
+    A multiverse function persists its whole version table (oldest
+    first, each version under its entry-profile key) in
+    ``tier_versions``; ``tier`` always carries the newest version so a
+    single-version reader still warm-starts.  A function holding one
+    generic version writes exactly the historical single-``tier``
+    payload.
+    """
     fingerprint = runtime.config.fingerprint()
     artifacts: List[FunctionArtifact] = []
     for name, state in list(runtime.functions.items()):
         base_hash = function_ir_hash(state.base)
         profile = runtime.profile.function(name)
-        version = state.version
+        with state.lock:
+            entries = [(entry.key, entry.version) for entry in state.versions]
         tier = None
+        tier_versions = None
         hashes: Dict[str, str] = {name: base_hash}
-        if version is not None:
-            backward = runtime._backward_mapping(state, version)
-            tier = encode_version(version, backward)
-            for frame_name in plan_function_names(version):
-                frame_state = runtime.functions.get(frame_name)
-                if frame_state is not None:
-                    hashes[frame_name] = function_ir_hash(frame_state.base)
+        if entries:
+            encoded = []
+            for key, version in entries:
+                backward = runtime._backward_mapping(state, version)
+                encoded.append(
+                    {"key": key.as_json(), "tier": encode_version(version, backward)}
+                )
+                for frame_name in plan_function_names(version):
+                    frame_state = runtime.functions.get(frame_name)
+                    if frame_state is not None:
+                        hashes[frame_name] = function_ir_hash(frame_state.base)
+            tier = encoded[-1]["tier"]
+            if len(entries) > 1 or not entries[-1][0].generic:
+                tier_versions = encoded
         artifacts.append(
             FunctionArtifact(
                 key=ArtifactKey(name, base_hash, fingerprint),
                 profile=profile,
                 tier=tier,
                 function_hashes=hashes,
+                tier_versions=tier_versions,
             )
         )
     return EngineSnapshot(config_fingerprint=fingerprint, artifacts=tuple(artifacts))
@@ -360,7 +385,18 @@ def hydrate_runtime(
                 )
             return dep_state.base
 
-        version = decode_version(artifact.tier, state.base, _resolve)
-        runtime.install_restored(name, version)
+        if artifact.tier_versions:
+            # A persisted multiverse: re-install every version under its
+            # entry-profile key, oldest first.  The runtime's admission
+            # bound applies — an engine opened with a smaller
+            # ``max_versions`` keeps the most recently persisted entries.
+            for item in artifact.tier_versions:
+                version = decode_version(item["tier"], state.base, _resolve)
+                runtime.install_restored(
+                    name, version, key=VersionKey.from_json(item.get("key", []))
+                )
+        else:
+            version = decode_version(artifact.tier, state.base, _resolve)
+            runtime.install_restored(name, version)
         restored.append(name)
     return restored

@@ -19,12 +19,15 @@ from .backend import (
 )
 from .closure_compile import ClosureCompiler, CompiledFunction, compile_ir_function
 from .profile import (
+    GENERIC_KEY,
     BranchProfile,
     CallSiteProfile,
+    EntryClusterer,
     FunctionProfile,
     RegisterProfile,
     ShardedValueProfile,
     ValueProfile,
+    VersionKey,
 )
 from .runtime import (
     AdaptiveRuntime,
@@ -32,6 +35,7 @@ from .runtime import (
     CompiledVersion,
     ContinuationKey,
     ExecutionContext,
+    SpecializedVersion,
     TieredFunction,
 )
 
@@ -40,8 +44,12 @@ __all__ = [
     "TieredFunction",
     "CachedContinuation",
     "CompiledVersion",
+    "SpecializedVersion",
     "ContinuationKey",
     "ExecutionContext",
+    "VersionKey",
+    "GENERIC_KEY",
+    "EntryClusterer",
     "ValueProfile",
     "ShardedValueProfile",
     "FunctionProfile",

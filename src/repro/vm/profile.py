@@ -39,6 +39,8 @@ __all__ = [
     "FunctionProfile",
     "ValueProfile",
     "ShardedValueProfile",
+    "VersionKey",
+    "EntryClusterer",
 ]
 
 #: Histograms stop distinguishing values past this many distinct entries;
@@ -595,3 +597,179 @@ class ShardedValueProfile:
         with self._registry_lock:
             count = len(self._shards)
         return f"<ShardedValueProfile {count} shards>"
+
+
+# ---------------------------------------------------------------------- #
+# Entry-profile clustering: the version-multiverse signature layer.
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class VersionKey:
+    """Identity of one entry-profile cluster: pinned argument slots.
+
+    A compiled version is keyed by the argument values its cluster pins:
+    ``pinned`` holds ``(arg_index, value)`` pairs sorted by index.  The
+    empty key is the *generic* version that matches every call — the
+    single-version behaviour of the pre-multiverse runtime.  Matching is
+    the call-fast-path operation, so it is a handful of integer
+    comparisons and nothing else.
+    """
+
+    pinned: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def specificity(self) -> int:
+        """How many entry slots this key constrains (generic == 0)."""
+        return len(self.pinned)
+
+    @property
+    def generic(self) -> bool:
+        return not self.pinned
+
+    def matches(self, args: Sequence[int]) -> bool:
+        """True when every pinned slot holds exactly its pinned value."""
+        for index, value in self.pinned:
+            if index >= len(args) or args[index] != value:
+                return False
+        return True
+
+    def distance(self, args: Sequence[int]) -> int:
+        """Number of pinned slots ``args`` disagrees with (0 == match)."""
+        mismatches = 0
+        for index, value in self.pinned:
+            if index >= len(args) or args[index] != value:
+                mismatches += 1
+        return mismatches
+
+    def as_json(self) -> List[List[int]]:
+        return [[int(index), int(value)] for index, value in self.pinned]
+
+    @classmethod
+    def from_json(cls, data: Sequence[Sequence[int]]) -> "VersionKey":
+        return cls(tuple(sorted((int(i), int(v)) for i, v in data)))
+
+    def __str__(self) -> str:
+        if not self.pinned:
+            return "generic"
+        return ",".join(f"arg{index}={value}" for index, value in self.pinned)
+
+
+#: The key of the version that matches every call.
+GENERIC_KEY = VersionKey()
+
+
+class EntryClusterer:
+    """Bounded online clustering of a function's entry argument tuples.
+
+    Every call's arguments feed per-slot :class:`RegisterProfile`
+    histograms plus a bounded counter of *signatures* — the projection
+    of the argument tuple onto the **stable slots**, those whose
+    histograms have not overflowed :data:`MAX_DISTINCT_VALUES`.  A slot
+    like a memory base address (distinct on every call) overflows
+    quickly and drops out of the signature, so clusters form over the
+    slots that actually discriminate phases (a ``mode``/``kind``
+    selector, a constant size).
+
+    The structure is deliberately tiny because :meth:`observe` runs on
+    the call fast path under the function's state lock: one histogram
+    record per argument and one Counter bump per call.  When the
+    signature set outgrows its bound the excess observations count as
+    *churn*; a churning (unstable) clusterer demotes the function to
+    single-generic-version behaviour rather than chasing a signature
+    distribution it cannot represent.
+    """
+
+    __slots__ = ("slots", "signatures", "observed", "churn", "_max_signatures", "_stable")
+
+    def __init__(self, *, max_clusters: int = 4) -> None:
+        self.slots: List[RegisterProfile] = []
+        #: signature (tuple of (slot, value) pairs) -> observation count.
+        self.signatures: Counter = Counter()
+        self.observed = 0
+        #: Observations whose signature fell outside the bounded set.
+        self.churn = 0
+        self._max_signatures = max(4, 4 * max_clusters)
+        self._stable: Optional[Tuple[int, ...]] = None
+
+    # ------------------------------------------------------------------ #
+    # Fast path.
+    # ------------------------------------------------------------------ #
+    def observe(self, args: Sequence[int]) -> None:
+        """Record one call's entry arguments (state-locked fast path)."""
+        self.observed += 1
+        slots = self.slots
+        if len(slots) < len(args):
+            slots.extend(RegisterProfile() for _ in range(len(args) - len(slots)))
+            self._stable = None
+        overflow_changed = False
+        for index, value in enumerate(args):
+            slot = slots[index]
+            was_overflowed = slot.overflowed
+            slot.record(value)
+            if slot.overflowed and not was_overflowed:
+                overflow_changed = True
+        if overflow_changed:
+            self._reproject()
+        signature = self._signature(args)
+        if signature in self.signatures or len(self.signatures) < self._max_signatures:
+            self.signatures[signature] += 1
+        else:
+            self.churn += 1
+
+    def _stable_slots(self) -> Tuple[int, ...]:
+        """Indices of slots whose histograms still distinguish values."""
+        if self._stable is None:
+            self._stable = tuple(
+                index for index, slot in enumerate(self.slots) if not slot.overflowed
+            )
+        return self._stable
+
+    def _signature(self, args: Sequence[int]) -> Tuple[Tuple[int, int], ...]:
+        return tuple(
+            (index, args[index]) for index in self._stable_slots() if index < len(args)
+        )
+
+    def _reproject(self) -> None:
+        """A slot overflowed: drop its component from every signature."""
+        self._stable = None
+        stable = set(self._stable_slots())
+        merged: Counter = Counter()
+        for signature, count in self.signatures.items():
+            merged[tuple(pair for pair in signature if pair[0] in stable)] += count
+        self.signatures = merged
+
+    # ------------------------------------------------------------------ #
+    # Cluster queries (compile-proposal path).
+    # ------------------------------------------------------------------ #
+    @property
+    def unstable(self) -> bool:
+        """True when the bounded signature set stopped being faithful."""
+        return self.churn * 4 > self.observed
+
+    def cluster_samples(self, key: VersionKey) -> int:
+        """Observations matching ``key``'s pinned slots (cluster heat)."""
+        if key.generic:
+            return self.observed
+        pinned = dict(key.pinned)
+        total = 0
+        for signature, count in self.signatures.items():
+            held = dict(signature)
+            if all(held.get(index) == value for index, value in pinned.items()):
+                total += count
+        return total
+
+    def key_for(self, args: Sequence[int]) -> VersionKey:
+        """The cluster key for one call's arguments.
+
+        Pins every stable slot to the call's value.  When clustering is
+        unstable (signature churn) or no slot is stable, the result is
+        :data:`GENERIC_KEY` — the demote-to-single-version escape hatch.
+        """
+        if self.unstable:
+            return GENERIC_KEY
+        return VersionKey(self._signature(args))
+
+    def __repr__(self) -> str:
+        return (
+            f"<EntryClusterer {len(self.signatures)} clusters, "
+            f"{self.observed} observed, churn {self.churn}>"
+        )

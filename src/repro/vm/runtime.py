@@ -93,6 +93,7 @@ from __future__ import annotations
 import threading
 import time
 import warnings
+from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
@@ -108,6 +109,7 @@ from ..engine.events import (
     ContinuationEvicted,
     DeoptimizingOSR,
     DispatchedOSR,
+    EntryDispatched,
     EventBus,
     GuardFailed,
     Invalidated,
@@ -117,8 +119,11 @@ from ..engine.events import (
     RingBufferRecorder,
     RuntimeEvent,
     SpeculationRejected,
+    Tier,
     TierUp,
+    VersionAdded,
     VersionRestored,
+    VersionRetired,
 )
 from ..engine.policy import HotnessPolicy, TieringPolicy
 from ..ir.expr import evaluate, free_vars
@@ -139,26 +144,37 @@ from ..passes import (
     standard_pipeline,
 )
 from .backend import ExecutionBackend, resolve_backend
-from .profile import ShardedValueProfile
+from .profile import (
+    GENERIC_KEY,
+    EntryClusterer,
+    FunctionProfile,
+    RegisterProfile,
+    ShardedValueProfile,
+    VersionKey,
+)
 
 __all__ = [
     "ContinuationKey",
     "CachedContinuation",
     "CompiledVersion",
+    "SpecializedVersion",
     "ExecutionContext",
     "TieredFunction",
     "AdaptiveRuntime",
 ]
 
-#: Identity of a dispatched-OSR target: the failing guard's program point
-#: in the optimized code plus the *shape* of the live state being
-#: transferred (the set of variables live at the landing point).  For the
-#: strict mappings the runtime builds today the shape is fully determined
-#: by the point — its job is defensive: a cached continuation's parameter
-#: list derives from the shape, so if a future non-strict mapping ever
-#: produces a different live set at the same point, it gets its own
-#: continuation instead of a mis-parameterized call.
-ContinuationKey = Tuple[ProgramPoint, FrozenSet[str]]
+#: Identity of a dispatched-OSR target: the version (by its entry-profile
+#: key — at most one version per key is ever live), the failing guard's
+#: program point in the optimized code, plus the *shape* of the live
+#: state being transferred (the set of variables live at the landing
+#: point).  For the strict mappings the runtime builds today the shape is
+#: fully determined by the point — its job is defensive: a cached
+#: continuation's parameter list derives from the shape, so if a future
+#: non-strict mapping ever produces a different live set at the same
+#: point, it gets its own continuation instead of a mis-parameterized
+#: call.  Keying by version keeps a continuation specialized against one
+#: version from ever serving another's deopt.
+ContinuationKey = Tuple[VersionKey, ProgramPoint, FrozenSet[str]]
 
 
 @dataclass
@@ -214,6 +230,29 @@ class CompiledVersion:
         return len(self.pair.inlined_frames())
 
 
+@dataclass
+class SpecializedVersion:
+    """One live entry of a function's version multiverse.
+
+    Pairs an immutable :class:`CompiledVersion` with the entry-profile
+    :class:`~repro.vm.profile.VersionKey` it was specialized for and the
+    mutable per-version bookkeeping (dispatch statistics, per-guard
+    failure counters, the lazy backward-mapping cache).  All mutable
+    fields are protected by the owning :class:`TieredFunction`'s lock.
+    """
+
+    key: VersionKey
+    version: CompiledVersion
+    #: Entry dispatches served by this version.
+    hits: int = 0
+    #: Dispatch sequence number of the most recent hit (LRU retirement).
+    last_used: int = 0
+    #: Per-guard-point failure counters of *this* version.
+    failures_at: Dict[ProgramPoint, int] = field(default_factory=dict)
+    #: Lazily built full backward mapping of this version.
+    backward_cache: Optional[OSRMapping] = None
+
+
 class ExecutionContext:
     """Per-root-call mutable state (today: the recursion fuel).
 
@@ -239,16 +278,20 @@ class TieredFunction:
 
     Mutable fields are protected by :attr:`lock` (counters, the
     continuation cache, failure bookkeeping, compile-pipeline flags);
-    :attr:`version` is additionally safe to *read* without the lock —
-    it only ever holds ``None`` or a complete immutable
-    :class:`CompiledVersion`, swapped with a single assignment.
+    :attr:`versions` is additionally safe to *read* without the lock —
+    it only ever holds a complete immutable tuple of
+    :class:`SpecializedVersion` entries, swapped with a single
+    assignment (the same no-torn-install discipline the single-version
+    runtime used for its one slot).
     """
 
     base: Function
-    version: Optional[CompiledVersion] = None
-    #: Lazily built full backward mapping of the current version (the
-    #: external-invalidation path); reset on every install/invalidate.
-    backward_mapping: Optional[OSRMapping] = None
+    #: The version multiverse: every live optimized version, oldest
+    #: first, each wrapped with its entry-profile key.  At most one live
+    #: entry per key; bounded by ``EngineConfig.max_versions``.
+    versions: Tuple[SpecializedVersion, ...] = ()
+    #: Entry-profile clusterer feeding the specialization keys.
+    clusterer: EntryClusterer = field(default_factory=EntryClusterer)
     call_count: int = 0
     osr_entries: int = 0
     osr_exits: int = 0
@@ -257,14 +300,26 @@ class TieredFunction:
     invalidations: int = 0
     dispatch_hits: int = 0
     dispatch_misses: int = 0
-    #: Per-guard-point failure counters of the *current* optimized version.
-    failures_at: Dict[ProgramPoint, int] = field(default_factory=dict)
-    #: Guard reasons refuted by repeated runtime failures; the next
-    #: compilation excludes them so the optimized version stops paying a
-    #: deoptimization on every call (the profile that suggested them was
-    #: unrepresentative — e.g. a callee that tiered up before its
-    #: histograms converged).
-    refuted_reasons: set = field(default_factory=set)
+    #: Monotonic entry-dispatch clock (drives per-version LRU stamps).
+    dispatch_seq: int = 0
+    #: Entry dispatches that *switched* versions (phase transitions).
+    entry_dispatches: int = 0
+    versions_added: int = 0
+    versions_retired: int = 0
+    #: Key the most recent call dispatched to (``None`` before the first
+    #: optimized call) — the inspection API marks this one.
+    last_dispatched_key: Optional[VersionKey] = None
+    #: Cluster key a failing version's guards nominated for the next
+    #: specialized build (consumed by the claim path).
+    pending_key: Optional[VersionKey] = None
+    #: Key the in-flight compile claim is building for.
+    compile_key: Optional[VersionKey] = None
+    #: Guard reasons refuted by repeated runtime failures, scoped to the
+    #: version key whose build speculated them: the next compilation
+    #: *for that key* excludes them so it stops paying a deoptimization
+    #: on every call, while sibling versions (whose entry profile may
+    #: make the same speculation perfectly sound) keep theirs.
+    refuted_reasons: Dict[VersionKey, set] = field(default_factory=dict)
     continuations: Dict[ContinuationKey, CachedContinuation] = field(
         default_factory=dict
     )
@@ -279,8 +334,15 @@ class TieredFunction:
     )
 
     # -------------------------------------------------------------- #
-    # Compatibility views over the installed version.
+    # Compatibility views over the installed version(s).  ``version``
+    # is the *newest* live entry — the single-version API surface every
+    # pre-multiverse client (and test) programs against.
     # -------------------------------------------------------------- #
+    @property
+    def version(self) -> Optional[CompiledVersion]:
+        versions = self.versions
+        return versions[-1].version if versions else None
+
     @property
     def pair(self) -> Optional[VersionPair]:
         version = self.version
@@ -533,7 +595,10 @@ class AdaptiveRuntime:
                 f"pass replace=True to supersede it (the old version, its "
                 f"cached continuations and its statistics are discarded)"
             )
-        state = TieredFunction(base=function)
+        state = TieredFunction(
+            base=function,
+            clusterer=EntryClusterer(max_clusters=self.config.max_versions),
+        )
         self.functions[function.name] = state
         if existing is not None:
             self.profile.discard(function.name)
@@ -563,19 +628,91 @@ class AdaptiveRuntime:
         state = self.functions.get(name)
         return state.base if state is not None else None
 
+    def _excluded_reasons_locked(
+        self, state: TieredFunction, key: VersionKey
+    ) -> FrozenSet[str]:
+        """Guard reasons a build for ``key`` must not re-speculate.
+
+        Blacklists are scoped per version key: a reason refuted against
+        one version never poisons a *sibling* whose entry profile makes
+        the same speculation sound.  A specialized build does inherit
+        the generic version's refutations — its mixed traffic is what
+        nominated the cluster in the first place — **except** constant
+        assumptions about the very parameters the key pins: for those,
+        the pinned profile (monomorphic by construction) is the
+        authority, and re-enabling them is the point of per-key scoping.
+        Caller must hold ``state.lock``.
+        """
+        exclude = set(state.refuted_reasons.get(key, ()))
+        if not key.generic:
+            params = state.base.params
+            pinned_names = {
+                params[index] for index, _ in key.pinned if index < len(params)
+            }
+            for reason in state.refuted_reasons.get(GENERIC_KEY, ()):
+                if reason.startswith("assume-constant "):
+                    name = reason.split(" ", 2)[1]
+                    if name in pinned_names:
+                        continue
+                exclude.add(reason)
+        return frozenset(exclude)
+
+    def _pin_profile(
+        self, state: TieredFunction, profile: FunctionProfile, key: VersionKey
+    ) -> FunctionProfile:
+        """A clone of ``profile`` with ``key``'s parameters pinned.
+
+        Specialization to an entry-profile cluster reuses the existing
+        speculative machinery wholesale: each pinned parameter is given
+        a perfectly monomorphic histogram, so the speculative pass
+        guards it as an assumed constant and constant propagation folds
+        the dispatch arms it selects — no dedicated compiler pass.
+
+        Value histograms of *non-parameter* registers and all branch
+        biases are dropped: the shared profile aggregates every entry
+        cluster, so an intermediate register (say, a dispatch
+        comparison) or a dispatch-arm branch can look monomorphic only
+        because a *different* phase dominated the recording.
+        Speculating on it inside a build whose pinned parameters imply
+        the other outcome constant-folds the guard predicate to
+        false — a version that deoptimizes on every call.  Call-site
+        profiles are kept (inlining decisions survive); the pinned
+        parameters themselves carry the specialization.
+        """
+        pinned = profile.clone()
+        params = state.base.params
+        pinned.values = {
+            name: prof for name, prof in pinned.values.items() if name in params
+        }
+        pinned.branches = {}
+        weight = max(self.config.min_samples, 1)
+        for index, value in key.pinned:
+            if index < len(params):
+                pinned.values[params[index]] = RegisterProfile(
+                    Counter({value: weight})
+                )
+        return pinned
+
     def _build_version(self, state: TieredFunction) -> CompiledVersion:
         """Build an optimized tier, speculatively when safely possible.
 
         Pure construction: reads a merged snapshot of the per-thread
         profile shards, never mutates the published state, and may run
         on a compile worker while request threads keep executing f_base.
+        The in-flight claim's :class:`~repro.vm.profile.VersionKey`
+        selects the entry-profile cluster to specialize for; the
+        generic key builds exactly the historical version.
         """
         config = self.config
+        with state.lock:
+            key = state.compile_key or GENERIC_KEY
         if self.speculate:
             snapshot = self.profile.merged()
             caller_profile = snapshot.function(state.base.name)
             with state.lock:
-                exclude = frozenset(state.refuted_reasons)
+                exclude = self._excluded_reasons_locked(state, key)
+            if not key.generic:
+                caller_profile = self._pin_profile(state, caller_profile, key)
             if self.inline:
                 merged = caller_profile.clone()
                 pipeline = interprocedural_pipeline(
@@ -625,8 +762,81 @@ class AdaptiveRuntime:
             speculative=False,
         )
 
-    def _install(self, state: TieredFunction, version: CompiledVersion) -> None:
-        """Atomically publish a finished version into the tier table."""
+    def _admit_version(
+        self,
+        state: TieredFunction,
+        version: CompiledVersion,
+        key: VersionKey,
+        *,
+        backward: Optional[OSRMapping] = None,
+        restored: bool = False,
+    ) -> Tuple[int, List[SpecializedVersion], int, bool]:
+        """Insert ``version`` into the table under the state lock.
+
+        Replaces any live entry with the same key, retires the
+        least-recently-dispatched entries beyond ``max_versions``, and
+        flushes continuations belonging to replaced/retired keys (a
+        continuation specialized against a dead version must not serve
+        a live one).  Returns ``(live_count, retired_entries,
+        surviving_continuations, counted_as_added)`` for the caller to
+        publish outside the lock.  Caller must hold ``state.lock``.
+        """
+        entries = [e for e in state.versions if e.key != key]
+        state.dispatch_seq += 1
+        entries.append(
+            SpecializedVersion(
+                key=key,
+                version=version,
+                last_used=state.dispatch_seq,
+                backward_cache=backward,
+            )
+        )
+        retired: List[SpecializedVersion] = []
+        while len(entries) > self.config.max_versions:
+            victim = min(entries[:-1], key=lambda e: (e.last_used, e.hits))
+            entries.remove(victim)
+            retired.append(victim)
+        state.versions = tuple(entries)
+        dead_keys = {key} | {victim.key for victim in retired}
+        for ckey in [c for c in state.continuations if c[0] in dead_keys]:
+            del state.continuations[ckey]
+        added = not restored and (
+            key.specificity > 0 or len(entries) > 1 or bool(retired)
+        )
+        if added:
+            state.versions_added += 1
+        state.versions_retired += len(retired)
+        return len(entries), retired, len(state.continuations), added
+
+    def _publish_retirements(
+        self,
+        name: str,
+        version: CompiledVersion,
+        live: int,
+        retired: List[SpecializedVersion],
+        continuations: int,
+    ) -> None:
+        """Announce retired entries; gauges describe the newest survivor."""
+        for victim in retired:
+            self._publish(
+                VersionRetired(
+                    name,
+                    key=str(victim.key),
+                    versions=live,
+                    speculative=version.speculative,
+                    guards=len(version.pair.guard_points()),
+                    inlined_frames=version.inlined_frames,
+                    continuations=continuations,
+                )
+            )
+
+    def _install(
+        self,
+        state: TieredFunction,
+        version: CompiledVersion,
+        key: VersionKey = GENERIC_KEY,
+    ) -> None:
+        """Atomically publish a finished version into the version table."""
         # Pre-build the backend artifact on the compiling thread so the
         # published version is ready to *run*: without this, the first
         # optimized call would pay the closure lowering on the request
@@ -637,45 +847,66 @@ class AdaptiveRuntime:
         with state.lock:
             if self.functions.get(state.base.name) is not state:
                 return  # superseded by a re-registration while compiling
-            state.version = version
-            state.backward_mapping = None
-            state.failures_at = {}
+            live, retired, continuations, added = self._admit_version(
+                state, version, key
+            )
         self._publish(
             TierUp(
                 state.base.name,
                 speculative=version.speculative,
                 guards=len(version.pair.guard_points()),
                 inlined_frames=version.inlined_frames,
+                key=str(key),
+                versions=live,
             )
         )
+        if added:
+            self._publish(
+                VersionAdded(state.base.name, key=str(key), versions=live)
+            )
+        self._publish_retirements(
+            state.base.name, version, live, retired, continuations
+        )
 
-    def install_restored(self, name: str, version: CompiledVersion) -> None:
+    def install_restored(
+        self,
+        name: str,
+        version: CompiledVersion,
+        *,
+        key: VersionKey = GENERIC_KEY,
+    ) -> None:
         """Install a version hydrated from a persisted artifact (warm start).
 
         Mirrors :meth:`_install` — backend artifact pre-built off the
-        request path, single-assignment publish, failure counters reset —
+        request path, single-assignment publish into the version table —
         but announces :class:`~repro.engine.events.VersionRestored`
         rather than :class:`~repro.engine.events.TierUp`: no compilation
         happened in this process, and warm-start clients count tier-ups
-        to prove exactly that.  The hydrated backward mapping (if any)
-        seeds the lazy cache directly, since the pair cannot rebuild it.
+        to prove exactly that.  Restored entries never count as *added*
+        (``versions_added`` stays a local-growth counter).  The hydrated
+        backward mapping (if any) seeds the lazy cache directly, since
+        the pair cannot rebuild it.  Hydrating a persisted multiverse is
+        one call per version, oldest first, each under its own ``key``.
         """
         state = self.functions[name]
         self.opt_backend.prepare(version.optimized)
         with state.lock:
             if self.functions.get(name) is not state:
                 return  # superseded by a re-registration while hydrating
-            state.version = version
-            state.backward_mapping = version.backward
-            state.failures_at = {}
+            live, retired, continuations, _ = self._admit_version(
+                state, version, key, backward=version.backward, restored=True
+            )
         self._publish(
             VersionRestored(
                 name,
                 speculative=version.speculative,
                 guards=len(version.pair.guard_points()),
                 inlined_frames=version.inlined_frames,
+                key=str(key),
+                versions=live,
             )
         )
+        self._publish_retirements(name, version, live, retired, continuations)
 
     def _compile_now(self, state: TieredFunction, *, sticky_errors: bool) -> None:
         """Run one claimed compile job to completion (build + publish).
@@ -687,7 +918,9 @@ class AdaptiveRuntime:
         """
         try:
             version = self._build_version(state)
-            self._install(state, version)
+            with state.lock:
+                key = state.compile_key or GENERIC_KEY
+            self._install(state, version, key)
         except BaseException as exc:
             if sticky_errors:
                 with state.lock:
@@ -696,6 +929,7 @@ class AdaptiveRuntime:
         finally:
             with state.lock:
                 state.compile_inflight = False
+                state.compile_key = None
                 done, state.compile_done = state.compile_done, None
             if done is not None:
                 done.set()
@@ -721,6 +955,7 @@ class AdaptiveRuntime:
     def _release_compile_claim(self, state: TieredFunction) -> None:
         with state.lock:
             state.compile_inflight = False
+            state.compile_key = None
             done, state.compile_done = state.compile_done, None
         if done is not None:
             done.set()
@@ -750,6 +985,7 @@ class AdaptiveRuntime:
                     raise state.compile_error
                 if not state.compile_inflight:
                     state.compile_inflight = True
+                    state.compile_key = GENERIC_KEY
                     state.compile_done = threading.Event()
                     done = None
                 else:
@@ -822,6 +1058,124 @@ class AdaptiveRuntime:
             if root:
                 self._tls.context = None
 
+    def _select_locked(
+        self, state: TieredFunction, args: Sequence[int]
+    ) -> Optional[SpecializedVersion]:
+        """The best-matching live version for ``args`` (lock held).
+
+        Every pinned slot of a candidate's key must match; among matches
+        the most *specific* key wins (a specialized version beats the
+        generic one for its own cluster), newest-installed breaking
+        ties.  The scan is O(versions × pinned slots) integer compares —
+        the call fast path stays cheap because ``max_versions`` is
+        small.
+        """
+        best: Optional[SpecializedVersion] = None
+        for candidate in state.versions:
+            if candidate.key.matches(args) and (
+                best is None or candidate.key.specificity >= best.key.specificity
+            ):
+                best = candidate
+        return best
+
+    def _dispatch(
+        self, state: TieredFunction, args: Sequence[int]
+    ) -> Optional[SpecializedVersion]:
+        """Select a version for ``args`` and record the dispatch.
+
+        :class:`~repro.engine.events.EntryDispatched` announces *version
+        switches* (the selected key differs from the previous call's),
+        not every optimized call — steady-state traffic inside one phase
+        stays event-free, exactly like the warm single-version fast
+        path, while each phase transition in a polymorphic workload
+        leaves a typed trace.
+        """
+        publish: Optional[Tuple[str, int]] = None
+        with state.lock:
+            entry = self._select_locked(state, args)
+            if entry is None:
+                return None
+            state.dispatch_seq += 1
+            entry.hits += 1
+            entry.last_used = state.dispatch_seq
+            switched = state.last_dispatched_key != entry.key
+            state.last_dispatched_key = entry.key
+            if switched and (len(state.versions) > 1 or not entry.key.generic):
+                state.entry_dispatches += 1
+                publish = (str(entry.key), len(state.versions))
+        if publish is not None:
+            self._publish(
+                EntryDispatched(
+                    state.base.name, key=publish[0], versions=publish[1]
+                )
+            )
+        return entry
+
+    def _propose_key_locked(
+        self,
+        state: TieredFunction,
+        args: Sequence[int],
+        matched: Optional[SpecializedVersion],
+    ) -> Optional[VersionKey]:
+        """The key to claim a compile for, or ``None`` (lock held).
+
+        Three ways a build starts:
+
+        * **Empty table** — the historical compile decision
+          (``policy.should_compile``).  The very first build is always
+          generic; after an invalidation emptied the table, the
+          triggering call's own cluster is specialized instead when it
+          is hot and stable (the guard failures that killed the generic
+          version seeded exactly this profile).
+        * **No matching version** — all live versions are specialized
+          away from ``args`` (the generic one was invalidated): grow the
+          multiverse with this call's cluster, or re-grow a generic
+          version when clustering is unstable.
+        * **Nominated cluster** — a live version's guards keep failing
+          for a cluster (``pending_key``, set by the failure path): the
+          first call *from that cluster* claims the specialized build,
+          so the new version pins the profile that was refuting the old
+          one.
+
+        Growth (the latter two) additionally needs the cluster hot and
+        the policy's :meth:`should_add_version` consent.
+        """
+        config = self.config
+        if not state.versions:
+            if not self.policy.should_compile(state, config):
+                return None
+            if config.max_versions <= 1 or state.invalidations == 0:
+                return GENERIC_KEY
+            key = state.clusterer.key_for(args)
+            if (
+                key.generic
+                or state.clusterer.cluster_samples(key) < config.hotness_threshold
+            ):
+                return GENERIC_KEY
+            return key
+        if config.max_versions <= 1:
+            return None
+        if matched is None:
+            key = state.clusterer.key_for(args)
+        else:
+            key = state.pending_key if state.pending_key is not None else None
+            if key is None or not key.matches(args):
+                return None
+        if any(entry.key == key for entry in state.versions):
+            if state.pending_key == key:
+                state.pending_key = None
+            return None
+        if not key.generic and (
+            state.clusterer.cluster_samples(key) < config.hotness_threshold
+        ):
+            return None
+        should_add = getattr(self.policy, "should_add_version", None)
+        if should_add is not None and not should_add(state, key, config):
+            return None
+        if state.pending_key == key:
+            state.pending_key = None
+        return key
+
     def _call_tiered(
         self,
         name: str,
@@ -831,33 +1185,34 @@ class AdaptiveRuntime:
         state = self.functions[name]
         with state.lock:
             state.call_count += 1
+            state.clusterer.observe(args)
             error = state.compile_error
-            claimed = (
-                error is None
-                and state.version is None
-                and not state.compile_inflight
-                and self.policy.should_compile(state, self.config)
-            )
-            if claimed:
-                state.compile_inflight = True
-                state.compile_done = threading.Event()
+            claimed = False
+            if error is None and not state.compile_inflight:
+                matched = self._select_locked(state, args)
+                claim_key = self._propose_key_locked(state, args, matched)
+                if claim_key is not None:
+                    claimed = True
+                    state.compile_inflight = True
+                    state.compile_key = claim_key
+                    state.compile_done = threading.Event()
         if error is not None:
             raise error
 
-        # Hot enough (per the policy) and not yet compiled: in synchronous
-        # mode compile now and OSR into the optimized code mid-execution
-        # of this very call; in background mode submit the job and keep
-        # this call (and everything racing it) in the base tier until the
-        # finished version is published.
+        # Hot enough (per the policy) and no suitable version: in
+        # synchronous mode compile now and OSR into the optimized code
+        # mid-execution of this very call; in background mode submit the
+        # job and keep this call (and everything racing it) in its
+        # current tier until the finished version is published.
         if claimed:
             if self.background_compile:
                 self._submit_compile(state)
             else:
                 self._compile_now(state, sticky_errors=False)
-                version = state.version
-                if version is not None:
+                entry = self._dispatch(state, args)
+                if entry is not None:
                     candidates, loop_points = self._osr_entry_candidates(
-                        state, version
+                        state, entry.version
                     )
                     osr_point = self.policy.select_osr_point(
                         state, candidates, loop_points, self.config
@@ -869,12 +1224,16 @@ class AdaptiveRuntime:
                         )
                     if osr_point is not None:
                         return self._call_with_osr(
-                            state, version, args, memory, osr_point
+                            state, entry, args, memory, osr_point
                         )
+                    return self._run_optimized(state, entry, args, memory)
+                return self.base_backend.run(
+                    state.base, args, memory=memory, profiler=self.profile
+                )
 
-        version = state.version
-        if version is not None:
-            return self._run_optimized(state, version, args, memory)
+        entry = self._dispatch(state, args)
+        if entry is not None:
+            return self._run_optimized(state, entry, args, memory)
         return self.base_backend.run(
             state.base, args, memory=memory, profiler=self.profile
         )
@@ -882,19 +1241,21 @@ class AdaptiveRuntime:
     def _run_optimized(
         self,
         state: TieredFunction,
-        version: CompiledVersion,
+        entry: SpecializedVersion,
         args: Sequence[int],
         memory: Optional[Memory],
     ) -> ExecutionResult:
-        # ``version`` was read exactly once by the caller: with recursion
-        # or concurrency, another activation's guard failure may
-        # invalidate and replace the installed version while this one is
-        # on the stack — its own failure must resolve against the plans
-        # of the version that actually raised it.
+        # ``entry`` was dispatched exactly once by the caller: with
+        # recursion or concurrency, another activation's guard failure
+        # may invalidate and replace table entries while this one is on
+        # the stack — its own failure must resolve against the plans of
+        # the version that actually raised it.
         try:
-            return self.opt_backend.run(version.optimized, args, memory=memory)
+            return self.opt_backend.run(
+                entry.version.optimized, args, memory=memory
+            )
         except GuardFailure as failure:
-            return self._handle_guard_failure(state, failure, version)
+            return self._handle_guard_failure(state, failure, entry, args)
 
     def _break_interpreter(self) -> Interpreter:
         """An interpreter whose calls dispatch through the runtime.
@@ -912,11 +1273,12 @@ class AdaptiveRuntime:
     def _call_with_osr(
         self,
         state: TieredFunction,
-        version: CompiledVersion,
+        entry_version: SpecializedVersion,
         args: Sequence[int],
         memory: Optional[Memory],
         osr_point: ProgramPoint,
     ) -> ExecutionResult:
+        version = entry_version.version
         interpreter = self._break_interpreter()
         paused = interpreter.run(state.base, args, memory=memory, break_at=osr_point)
         if paused.stopped_at is None:
@@ -973,7 +1335,7 @@ class AdaptiveRuntime:
                 previous_block=paused.previous_block,
             )
         except GuardFailure as failure:
-            return self._handle_guard_failure(state, failure, version)
+            return self._handle_guard_failure(state, failure, entry_version, args)
 
     def _speculation_holds(
         self,
@@ -1026,11 +1388,36 @@ class AdaptiveRuntime:
     # ------------------------------------------------------------------ #
     # Guard failure: multi-frame deopt + dispatched continuations.
     # ------------------------------------------------------------------ #
+    def _nominate_cluster_locked(
+        self,
+        state: TieredFunction,
+        entry: SpecializedVersion,
+        args: Optional[Sequence[int]],
+    ) -> None:
+        """Seed the next specialized build from a refuting call's profile.
+
+        The failing call's entry cluster is nominated as
+        :attr:`TieredFunction.pending_key`: the next call *from that
+        cluster* claims a build that pins exactly the values which kept
+        refuting ``entry``'s speculation — the multiverse answer to a
+        phase change, replacing the single-version engine's global
+        blacklist-and-recompile cycle.  Caller must hold ``state.lock``.
+        """
+        if args is None or self.config.max_versions <= 1:
+            return
+        seed = state.clusterer.key_for(args)
+        if seed.generic or seed == entry.key:
+            return
+        if any(live.key == seed for live in state.versions):
+            return
+        state.pending_key = seed
+
     def _record_failure(
         self,
         state: TieredFunction,
         failure: GuardFailure,
-        version: CompiledVersion,
+        entry: SpecializedVersion,
+        args: Optional[Sequence[int]] = None,
     ) -> None:
         """Refute a speculation that keeps failing and schedule a recompile.
 
@@ -1039,15 +1426,20 @@ class AdaptiveRuntime:
         tiered up before its histograms converged), and unlike
         single-frame failures it has no cached-continuation fast path —
         every failure pays a full stack reconstruction.  Its reason is
-        blacklisted and the optimized version is discarded; the next
-        call recompiles without that assumption.  (Single-frame repeat
-        failures are served by the Deoptless dispatch cache instead and
-        never invalidate.)
+        blacklisted *for this version's key* and the failing version is
+        discarded; the next build for that key excludes the assumption.
+        Sibling versions — whose entry profiles may make the same
+        speculation perfectly sound — stay live and keep serving their
+        clusters, and the failing call's own cluster is nominated for a
+        specialized build (:meth:`_nominate_cluster_locked`).
+        (Single-frame repeat failures are served by the Deoptless
+        dispatch cache instead and never invalidate.)
 
         Only the version that actually failed is discarded: if a
         concurrent activation already invalidated it (or a newer build
-        was installed meanwhile), the refuted reason is still recorded
-        for the next compilation but nothing else changes.
+        for its key was installed meanwhile), the refuted reason is
+        still recorded for the next compilation but nothing else
+        changes.
 
         Known limitation: reasons embed the inliner's frame tags, and a
         recompile in which the *set* of hot sites grew can renumber the
@@ -1056,31 +1448,82 @@ class AdaptiveRuntime:
         recorded — a transient performance hiccup, never unsoundness.
         """
         with state.lock:
-            count = state.failures_at.get(failure.point, 0) + 1
-            state.failures_at[failure.point] = count
+            count = entry.failures_at.get(failure.point, 0) + 1
+            entry.failures_at[failure.point] = count
         if failure.reason is None or not self.policy.should_invalidate(
             state, failure.point, count, self.config
         ):
             return
         with state.lock:
-            state.refuted_reasons.add(failure.reason)
-            if state.version is not version:
+            state.refuted_reasons.setdefault(entry.key, set()).add(
+                failure.reason
+            )
+            self._nominate_cluster_locked(state, entry, args)
+            if not any(live is entry for live in state.versions):
                 return  # already invalidated or replaced concurrently
+            state.versions = tuple(
+                live for live in state.versions if live is not entry
+            )
             state.invalidations += 1
-            state.version = None
-            state.backward_mapping = None
-            state.failures_at = {}
-            state.continuations = {}
+            survivors = state.versions
+            newest = survivors[-1].version if survivors else None
+            for ckey in [
+                c for c in state.continuations if c[0] == entry.key
+            ]:
+                del state.continuations[ckey]
+            continuations = len(state.continuations)
         self._publish(
-            Invalidated(state.base.name, failure.point, reason=failure.reason)
+            Invalidated(
+                state.base.name,
+                failure.point,
+                reason=failure.reason,
+                tier=Tier.OPTIMIZED if newest is not None else Tier.BASE,
+                key=str(entry.key),
+                versions=len(survivors),
+                speculative=newest.speculative if newest else False,
+                guards=len(newest.pair.guard_points()) if newest else 0,
+                inlined_frames=newest.inlined_frames if newest else 0,
+                continuations=continuations,
+            )
         )
+
+    def _note_single_frame_failure(
+        self,
+        state: TieredFunction,
+        failure: GuardFailure,
+        entry: SpecializedVersion,
+        args: Sequence[int],
+    ) -> None:
+        """Multiverse growth trigger for repeated single-frame failures.
+
+        Single-frame failures never invalidate — the dispatched
+        continuation cache makes them cheap — so in the single-version
+        engine a phase change leaves the function bouncing off the same
+        guard forever.  With a multiverse, once such a guard crosses the
+        policy's invalidation threshold the failing call's cluster is
+        nominated for its own specialized build; the failing version
+        stays live (its own cluster still runs it guard-free, and the
+        specialized newcomer out-matches it for the refuting cluster).
+        """
+        if self.config.max_versions <= 1 or failure.reason is None:
+            return
+        with state.lock:
+            count = entry.failures_at.get(failure.point, 0) + 1
+            entry.failures_at[failure.point] = count
+            if not self.policy.should_invalidate(
+                state, failure.point, count, self.config
+            ):
+                return
+            self._nominate_cluster_locked(state, entry, args)
 
     def _handle_guard_failure(
         self,
         state: TieredFunction,
         failure: GuardFailure,
-        version: CompiledVersion,
+        entry: SpecializedVersion,
+        args: Optional[Sequence[int]] = None,
     ) -> ExecutionResult:
+        version = entry.version
         with state.lock:
             state.guard_failures += 1
         plan = version.plans.get(failure.point)
@@ -1097,11 +1540,13 @@ class AdaptiveRuntime:
             )
         )
         if plan.is_multiframe:
-            return self._unwind_multiframe(state, failure, plan, version)
+            return self._unwind_multiframe(state, failure, plan, entry, args)
+        if args is not None:
+            self._note_single_frame_failure(state, failure, entry, args)
 
         frame = plan.frames[0]
         landing_env = frame.transfer(failure.env)
-        key: ContinuationKey = (failure.point, frozenset(landing_env))
+        key: ContinuationKey = (entry.key, failure.point, frozenset(landing_env))
         previous_block = (
             failure.previous_block
             if failure.previous_block in state.base.blocks
@@ -1160,7 +1605,7 @@ class AdaptiveRuntime:
         # lock, so concurrent failures of the same shape cache (and
         # publish) exactly once.
         if (
-            state.version is version
+            any(live is entry for live in state.versions)
             and not frame.param_seeds
             and self.policy.should_cache_continuation(
                 state, failure.point, plan, self.config
@@ -1170,7 +1615,8 @@ class AdaptiveRuntime:
             evicted: List[ProgramPoint] = []
             with state.lock:
                 stored = (
-                    state.version is version and key not in state.continuations
+                    any(live is entry for live in state.versions)
+                    and key not in state.continuations
                 )
                 if stored:
                     state.continuations[key] = CachedContinuation(continuation)
@@ -1180,7 +1626,7 @@ class AdaptiveRuntime:
                     ):
                         evicted_key = next(iter(state.continuations))
                         del state.continuations[evicted_key]
-                        evicted.append(evicted_key[0])
+                        evicted.append(evicted_key[1])
             if stored:
                 self._publish(ContinuationCached(state.base.name, failure.point))
                 for point in evicted:
@@ -1192,7 +1638,8 @@ class AdaptiveRuntime:
         state: TieredFunction,
         failure: GuardFailure,
         plan: DeoptPlan,
-        version: CompiledVersion,
+        entry: SpecializedVersion,
+        args: Optional[Sequence[int]] = None,
     ) -> ExecutionResult:
         """Materialize and resume the reconstructed virtual call stack.
 
@@ -1209,7 +1656,7 @@ class AdaptiveRuntime:
         self._publish(
             MultiFrameDeopt(state.base.name, failure.point, frames=len(plan.frames))
         )
-        self._record_failure(state, failure, version)
+        self._record_failure(state, failure, entry, args)
         environments = [frame.transfer(failure.env) for frame in plan.frames]
         failure.frames = [
             FrameState(
@@ -1282,21 +1729,42 @@ class AdaptiveRuntime:
         state, version = self._ensure_compiled_state(name)
         return self._backward_mapping(state, version)
 
+    def _entry_for(
+        self, state: TieredFunction, version: CompiledVersion
+    ) -> SpecializedVersion:
+        """The live table entry wrapping ``version``, or a transient one.
+
+        The transient wrapper (for a version invalidated or replaced
+        since the caller read it) keeps failure handling working against
+        exactly the version that raised — its bookkeeping simply isn't
+        published anywhere, matching the old "stale version" semantics.
+        """
+        with state.lock:
+            for entry in state.versions:
+                if entry.version is version:
+                    return entry
+        return SpecializedVersion(key=GENERIC_KEY, version=version)
+
     def _backward_mapping(
         self, state: TieredFunction, version: CompiledVersion
     ) -> OSRMapping:
         """The backward mapping of exactly ``version`` (cached while installed)."""
         with state.lock:
-            if state.version is version and state.backward_mapping is not None:
-                return state.backward_mapping
+            for entry in state.versions:
+                if entry.version is version:
+                    if entry.backward_cache is not None:
+                        return entry.backward_cache
+                    break
         mapping = (
             version.backward
             if version.backward is not None
             else version.pair.backward_mapping(self.config.mode)
         )
         with state.lock:
-            if state.version is version:
-                state.backward_mapping = mapping
+            for entry in state.versions:
+                if entry.version is version:
+                    entry.backward_cache = mapping
+                    break
         return mapping
 
     def deoptimize_at(
@@ -1334,7 +1802,9 @@ class AdaptiveRuntime:
         except GuardFailure as failure:
             # A speculation failed before reaching the requested point;
             # the guard's own deoptimization wins.
-            return self._handle_guard_failure(state, failure, version)
+            return self._handle_guard_failure(
+                state, failure, self._entry_for(state, version), list(args)
+            )
         if paused.stopped_at is None:
             return paused
         landing_env = mapping.transfer(point, paused.env)
@@ -1376,5 +1846,9 @@ class AdaptiveRuntime:
                 "dispatch_hits": state.dispatch_hits,
                 "dispatch_misses": state.dispatch_misses,
                 "continuations": len(state.continuations),
+                "versions": len(state.versions),
+                "versions_added": state.versions_added,
+                "versions_retired": state.versions_retired,
+                "entry_dispatches": state.entry_dispatches,
             }
 

@@ -1,0 +1,154 @@
+"""Workloads that exercise the version multiverse.
+
+Each kernel dispatches every loop iteration through a long ``mode``
+if-else chain with cheap arms, and real callers drive it through a
+*phase-alternating* input regime: a few hot ``mode`` values traded in
+blocks, the worst case for a single speculative version.  A
+single-version engine (``max_versions=1``) either thrashes
+(guard-fail → invalidate → recompile on every phase shift) or — once
+the refuted-speculation blacklist kicks in — settles on generic code
+that re-evaluates the whole chain per iteration.  A multiverse engine
+keeps one arm-pruned version per phase cluster and entry dispatch
+routes each call to the matching version, so every phase runs its
+specialized straight-line body.
+
+* ``modal_sum`` — an 8-arm arithmetic accumulator keyed on ``mode``.
+* ``shape_walk`` — a 7-arm index-transform walk over a buffer.
+* ``op_mix`` — a 6-arm bitwise/arithmetic mixer.
+
+The kernels intentionally keep ``n`` small and arms cheap: the chain
+compares dominate, which is exactly the cost specialization removes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..frontend import compile_function
+from ..ir.function import Function
+from ..ir.interp import Memory
+
+__all__ = [
+    "POLYMORPHIC_NAMES",
+    "POLYMORPHIC_SOURCES",
+    "polymorphic_source",
+    "polymorphic_function",
+    "polymorphic_phases",
+    "polymorphic_arguments",
+]
+
+POLYMORPHIC_NAMES: Tuple[str, ...] = ("modal_sum", "shape_walk", "op_mix")
+
+POLYMORPHIC_SOURCES: Dict[str, str] = {
+    # Eight arithmetic arms; each phase uses exactly one.
+    "modal_sum": """
+func modal_sum(mode, xs, n) {
+  var acc = 0;
+  var i = 0;
+  while (i < n) {
+    var v = xs[i];
+    if (mode == 0) { acc = acc + v; }
+    else { if (mode == 1) { acc = acc + v * 2; }
+    else { if (mode == 2) { acc = acc - v; }
+    else { if (mode == 3) { acc = acc + v * 3 - i; }
+    else { if (mode == 4) { acc = acc ^ v; }
+    else { if (mode == 5) { acc = acc + v * v; }
+    else { if (mode == 6) { acc = acc * 2 - v; }
+    else { acc = acc + v + i; } } } } } } }
+    i = i + 1;
+  }
+  return acc;
+}
+""",
+    # Seven index-transform arms walking the same buffer.
+    "shape_walk": """
+func shape_walk(mode, xs, n) {
+  var acc = 0;
+  var i = 0;
+  while (i < n) {
+    var j = i;
+    if (mode == 0) { j = i; }
+    else { if (mode == 1) { j = n - 1 - i; }
+    else { if (mode == 2) { j = (i * 2) % n; }
+    else { if (mode == 3) { j = (i * 3) % n; }
+    else { if (mode == 4) { j = (i + n / 2) % n; }
+    else { if (mode == 5) { j = (i * 5) % n; }
+    else { j = (n - 1 - i * 2 % n + n) % n; } } } } } }
+    acc = acc + xs[j] - i;
+    i = i + 1;
+  }
+  return acc;
+}
+""",
+    # Six bitwise/arithmetic mixer arms.
+    "op_mix": """
+func op_mix(mode, xs, n) {
+  var acc = 1;
+  var i = 0;
+  while (i < n) {
+    var v = xs[i];
+    if (mode == 0) { acc = acc + (v & 255); }
+    else { if (mode == 1) { acc = acc ^ (v + i); }
+    else { if (mode == 2) { acc = acc + (v | i); }
+    else { if (mode == 3) { acc = acc * 3 + v; }
+    else { if (mode == 4) { acc = acc + v - (i & 7); }
+    else { acc = (acc ^ v) + i; } } } } }
+    i = i + 1;
+  }
+  return acc;
+}
+""",
+}
+
+#: The hot ``mode`` values each kernel's phase-alternating regime cycles
+#: through — one specialized version per entry under a multiverse.
+_PHASES: Dict[str, Tuple[int, ...]] = {
+    "modal_sum": (1, 5, 7),
+    "shape_walk": (0, 3, 6),
+    "op_mix": (0, 3, 5),
+}
+
+
+def polymorphic_source(name: str) -> str:
+    """MiniC source of one polymorphic-dispatch kernel."""
+    try:
+        return POLYMORPHIC_SOURCES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown polymorphic workload {name!r}; choose from {POLYMORPHIC_NAMES}"
+        ) from None
+
+
+def polymorphic_function(name: str) -> Function:
+    """The f_base (SSA + debug info) form of one polymorphic kernel."""
+    return compile_function(polymorphic_source(name), name)
+
+
+def polymorphic_phases(name: str) -> Tuple[int, ...]:
+    """The hot ``mode`` values of ``name``'s phase-alternating regime."""
+    polymorphic_source(name)  # validate the name
+    return _PHASES[name]
+
+
+def polymorphic_arguments(
+    name: str,
+    mode: int,
+    *,
+    size: int = 16,
+    seed: int = 7,
+) -> Tuple[List[int], Memory]:
+    """Executable arguments and memory for one phase of one kernel.
+
+    ``mode`` selects the dispatch arm; the buffer contents depend only
+    on ``seed``/``size`` so every phase of a kernel shares the same
+    data and differs purely in the entry profile.
+    """
+    import random
+
+    polymorphic_source(name)  # validate the name
+    rng = random.Random(seed + len(name))
+    memory = Memory()
+    values = [rng.randint(-40, 40) for _ in range(size)]
+    base = memory.allocate(size)
+    memory.write_array(base, values)
+    return [mode, base, size], memory

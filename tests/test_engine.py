@@ -292,7 +292,9 @@ class TestEventRecording:
         assert [event.function for event in second_seen] == ["f", "g"]
 
     def test_engine_event_log_is_bounded_but_stats_stay_exact(self):
-        engine = _dispatch_engine(event_buffer_size=4)
+        # max_versions=1 keeps the violating calls bouncing off the same
+        # guard (the multiverse would specialize them away after two).
+        engine = _dispatch_engine(event_buffer_size=4, max_versions=1)
         for _ in range(5):
             args, memory = speculative_arguments("dispatch")
             engine.call("dispatch", args, memory=memory)
@@ -422,7 +424,10 @@ class TestContinuationCacheBound:
 class TestEngineRoundTrip:
     @pytest.mark.parametrize("backend_name", BACKENDS)
     def test_frontend_program_round_trips_with_typed_events(self, backend_name):
-        engine = _dispatch_engine(backend_name)
+        # The single-version journey end to end: with a multiverse the
+        # third violating call would tier up a specialized version
+        # instead of hitting the dispatched continuation twice.
+        engine = _dispatch_engine(backend_name, max_versions=1)
         handle = engine.function("dispatch")
         observed = []
         unsubscribe = engine.subscribe(observed.append)

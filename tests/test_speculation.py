@@ -227,7 +227,10 @@ class TestAdaptiveRuntimeSpeculation:
     @pytest.mark.parametrize("name", SPECULATIVE_NAMES)
     def test_full_tier_journey(self, name):
         function = speculative_function(name)
-        engine = _speculation_engine(function)
+        # The canonical *single-version* journey: max_versions=1 keeps
+        # repeated violations on the dispatched-continuation path rather
+        # than growing a specialized version for the violating cluster.
+        engine = _speculation_engine(function, max_versions=1)
         handle = engine.function(name)
         self._warm(engine, name, 5)
         stats = handle.stats
