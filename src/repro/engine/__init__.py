@@ -19,6 +19,7 @@ with *Deoptless*'s policy knobs made first-class):
 
 from .config import EngineConfig
 from .events import (
+    EVENT_TYPES,
     REREGISTERED,
     ContinuationCached,
     ContinuationEvicted,
@@ -40,6 +41,8 @@ from .events import (
     VersionAdded,
     VersionRestored,
     VersionRetired,
+    event_as_dict,
+    event_from_dict,
 )
 from .policy import AlwaysCompile, HotnessPolicy, NeverCompile, TieringPolicy
 from .stats import EngineStats, StatsCollector
@@ -89,4 +92,7 @@ __all__ = [
     "REREGISTERED",
     "EventBus",
     "RingBufferRecorder",
+    "EVENT_TYPES",
+    "event_as_dict",
+    "event_from_dict",
 ]

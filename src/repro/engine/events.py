@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from enum import Enum
 from typing import (
     Callable,
@@ -46,12 +46,16 @@ from typing import (
     List,
     Optional,
     Tuple,
+    Type,
 )
 
 from ..ir.function import ProgramPoint
 
 __all__ = [
     "Tier",
+    "EVENT_TYPES",
+    "event_as_dict",
+    "event_from_dict",
     "RuntimeEvent",
     "TierUp",
     "VersionRestored",
@@ -127,6 +131,11 @@ class TierUp(RuntimeEvent):
     key: str = "generic"
     #: Live versions in the function's multiverse after the install.
     versions: int = 1
+    #: Wall-clock seconds the build spent (optimization pipeline plus
+    #: deopt-plan construction), measured on the compiling thread.
+    #: ``0.0`` when the producer did not time the build (events built by
+    #: hand in tests, pre-metrics recordings).
+    compile_seconds: float = 0.0
 
     kind: ClassVar[str] = "tier-up"
 
@@ -324,6 +333,79 @@ class Invalidated(RuntimeEvent):
     continuations: int = 0
 
     kind: ClassVar[str] = "invalidated"
+
+
+#: Every concrete event class, keyed by its stable ``kind`` tag.  The
+#: JSON codec below (and anything replaying a serialized stream — the
+#: fleet's JSON-lines sinks, ``repro top --follow``) resolves classes
+#: through this table, so adding an event type is one entry here.
+EVENT_TYPES: Dict[str, Type[RuntimeEvent]] = {
+    cls.kind: cls
+    for cls in (
+        TierUp,
+        VersionRestored,
+        VersionAdded,
+        VersionRetired,
+        EntryDispatched,
+        SpeculationRejected,
+        OptimizingOSR,
+        OSREntryRejected,
+        GuardFailed,
+        DeoptimizingOSR,
+        DispatchedOSR,
+        ContinuationCached,
+        ContinuationEvicted,
+        MultiFrameDeopt,
+        Invalidated,
+    )
+}
+
+
+def event_as_dict(event: RuntimeEvent) -> Dict[str, object]:
+    """A JSON-safe rendering of ``event`` (inverse of :func:`event_from_dict`).
+
+    ``kind`` identifies the concrete class; program points render as
+    their canonical ``"block:index"`` text and tiers as their string
+    value, so the result round-trips through ``json.dumps`` losslessly.
+    """
+    data: Dict[str, object] = {"kind": event.kind}
+    for spec in fields(event):
+        value = getattr(event, spec.name)
+        if isinstance(value, Tier):  # before the str check: Tier is a str
+            value = value.value
+        elif isinstance(value, ProgramPoint):
+            value = str(value)
+        data[spec.name] = value
+    return data
+
+
+def event_from_dict(data: Dict[str, object]) -> RuntimeEvent:
+    """Rebuild the typed event a :func:`event_as_dict` rendering describes.
+
+    Unknown kinds and unknown fields raise :class:`ValueError` loudly —
+    a stream written by a newer engine must not half-decode.
+    """
+    kind = data.get("kind")
+    cls = EVENT_TYPES.get(kind) if isinstance(kind, str) else None
+    if cls is None:
+        raise ValueError(
+            f"unknown event kind {kind!r}; known: {sorted(EVENT_TYPES)}"
+        )
+    known = {spec.name for spec in fields(cls)}
+    unknown = sorted(set(data) - known - {"kind"})
+    if unknown:
+        raise ValueError(f"unknown field(s) {unknown} for event kind {kind!r}")
+    kwargs: Dict[str, object] = {}
+    for spec in fields(cls):
+        if spec.name not in data:
+            continue
+        value = data[spec.name]
+        if spec.name == "point" and isinstance(value, str):
+            value = ProgramPoint.parse(value)
+        elif spec.name == "tier" and isinstance(value, str):
+            value = Tier(value)
+        kwargs[spec.name] = value
+    return cls(**kwargs)
 
 
 Subscriber = Callable[[RuntimeEvent], None]

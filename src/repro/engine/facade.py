@@ -213,6 +213,17 @@ class FunctionHandle:
     def stats(self) -> EngineStats:
         return self._engine.stats(self.name)
 
+    def introspect(self) -> Dict[str, object]:
+        """A JSON-safe snapshot of this function's full tier state.
+
+        The operator view behind ``repro inspect``: the live version
+        table with per-version dispatch hits and per-guard failure
+        counters, the continuation cache's entries, refuted speculation
+        reasons per version key, and the compile pipeline's in-flight
+        claim.  See :meth:`repro.vm.runtime.AdaptiveRuntime.introspect`.
+        """
+        return self._engine.runtime.introspect(self.name)
+
     def deopt_points(self) -> List[ProgramPoint]:
         """The optimized-code points supporting forced deoptimization.
 
@@ -466,3 +477,7 @@ class Engine:
     def stats_dict(self, name: str) -> Dict[str, int]:
         """The legacy ``AdaptiveRuntime.stats()`` dict, from EngineStats."""
         return self.stats(name).as_dict()
+
+    def stats_all(self) -> Dict[str, EngineStats]:
+        """Per-function :class:`EngineStats` for every registered function."""
+        return {name: self.stats(name) for name in self.runtime.functions}

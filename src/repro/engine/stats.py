@@ -19,8 +19,8 @@ time; everything else is pure reduction.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, replace
-from typing import Dict
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Mapping
 
 from .events import (
     REREGISTERED,
@@ -87,6 +87,23 @@ class EngineStats:
             "versions_retired": self.versions_retired,
             "entry_dispatches": self.entry_dispatches,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "EngineStats":
+        """Inverse of :meth:`as_dict` — ``from_dict(s.as_dict()) == s``.
+
+        The JSON round-trip the CLI and metrics exporter rely on.
+        Unknown keys raise (a stats dict from a newer engine must not
+        load silently); missing keys default to zero so a reduced
+        rendering still parses.
+        """
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown EngineStats field(s) {unknown}; known: {sorted(known)}"
+            )
+        return cls(**{key: int(value) for key, value in data.items()})
 
 
 class StatsCollector:

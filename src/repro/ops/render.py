@@ -1,0 +1,92 @@
+"""Stdlib-only tabular rendering for the operator CLI.
+
+Every ``repro`` command funnels its rows through :func:`format_rows`,
+so ``--format table|csv|json`` behaves identically everywhere: the
+table is aligned fixed-width text (no third-party dependency), csv is
+:mod:`csv`-module output with a header row, and json is a list of
+objects keyed by the column names.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["FORMATS", "format_rows"]
+
+FORMATS = ("table", "csv", "json")
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.6f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def format_rows(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    fmt: str = "table",
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` (dicts keyed by column name) in one of :data:`FORMATS`.
+
+    ``json`` emits the raw values (so numbers stay numbers and callers
+    can pipe into ``jq``); ``table``/``csv`` stringify them.  The title
+    only decorates the human-facing table.
+    """
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown format {fmt!r}; choose from {FORMATS}")
+    if fmt == "json":
+        return json.dumps(
+            [{column: row.get(column) for column in columns} for row in rows],
+            indent=2,
+            default=str,
+        )
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(columns)
+        for row in rows:
+            writer.writerow([_cell(row.get(column)) for column in columns])
+        return buffer.getvalue().rstrip("\n")
+
+    rendered: List[Dict[str, str]] = [
+        {column: _cell(row.get(column)) for column in columns} for row in rows
+    ]
+    widths = {
+        column: max(len(column), *(len(row[column]) for row in rendered))
+        if rendered
+        else len(column)
+        for column in columns
+    }
+    numeric = {
+        column: bool(rows)
+        and all(isinstance(row.get(column), (int, float)) for row in rows)
+        for column in columns
+    }
+
+    def line(cells: Mapping[str, str]) -> str:
+        parts = []
+        for column in columns:
+            text = cells[column]
+            parts.append(
+                text.rjust(widths[column]) if numeric[column] else text.ljust(widths[column])
+            )
+        return "  ".join(parts).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line({column: column for column in columns}))
+    out.append("  ".join("-" * widths[column] for column in columns))
+    out.extend(line(row) for row in rendered)
+    if not rendered:
+        out.append("(no rows)")
+    return "\n".join(out)

@@ -89,12 +89,16 @@ def promote_memory_to_registers(function: Function) -> int:
         base = slot.lstrip("%").replace(".addr", "")
         return f"%{base}.{counters[slot]}"
 
+    # Deterministic worklist and frontier order: phi placement assigns the
+    # fresh ``%name.N`` versions, and the artifact store keys warm starts
+    # by a hash of the printed IR — set-order iteration here would make
+    # that hash vary with the interpreter's hash seed across processes.
     for slot in sorted(slot_names):
-        worklist = list(store_blocks[slot])
+        worklist = sorted(store_blocks[slot])
         has_phi: Set[str] = set()
         while worklist:
             block = worklist.pop()
-            for frontier_block in frontiers.get(block, set()):
+            for frontier_block in sorted(frontiers.get(block, ())):
                 if frontier_block in has_phi or not domtree.is_reachable(frontier_block):
                     continue
                 has_phi.add(frontier_block)

@@ -19,9 +19,9 @@ exactly that distinction back to the coordinator.
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..engine.config import EngineConfig
 
@@ -40,6 +40,10 @@ class WorkerReport:
     restored: Tuple[str, ...]
     tier_ups: int
     results: Tuple[object, ...]
+    #: Final per-function :meth:`Engine.stats` fold (``as_dict`` shape),
+    #: captured just before the worker's engine closes — the coordinator
+    #: (and ``repro fleet``) renders it without re-opening any store.
+    stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
 
 def _fleet_worker(
@@ -49,13 +53,16 @@ def _fleet_worker(
     config: Optional[EngineConfig],
     calls: Sequence[Call],
     sync_every: int,
+    events_dir: Optional[str],
     queue: "multiprocessing.Queue",
 ) -> None:
     # Imported here, not at module top: the worker entry point must stay
     # importable under spawn without dragging the full engine (and its
     # backend probes) into the parent's import of this module.
     from ..engine.facade import Engine
+    from ..ops.export import JsonLinesSink
 
+    sink: Optional[JsonLinesSink] = None
     try:
         with Engine.open(source, store=store_root, config=config) as engine:
             tier_ups = 0
@@ -66,6 +73,11 @@ def _fleet_worker(
                     tier_ups += 1
 
             engine.subscribe(_count)
+            if events_dir is not None:
+                # One file per worker: sinks never contend across
+                # processes, and ``repro top --follow`` tails any of them.
+                sink = JsonLinesSink(Path(events_dir) / f"worker-{index}.jsonl")
+                engine.subscribe(sink)
             restored = tuple(engine.restored_functions)
             results: List[object] = []
             for position, (name, args) in enumerate(calls, start=1):
@@ -73,6 +85,10 @@ def _fleet_worker(
                 if sync_every and position % sync_every == 0:
                     engine.save(store_root)
             engine.save(store_root)
+            stats = {
+                name: engine.stats(name).as_dict()
+                for name in engine.function_names()
+            }
         queue.put(
             WorkerReport(
                 worker=index,
@@ -80,10 +96,14 @@ def _fleet_worker(
                 restored=restored,
                 tier_ups=tier_ups,
                 results=tuple(results),
+                stats=stats,
             )
         )
     except BaseException as exc:  # surface the failure, don't hang the join
         queue.put((index, f"{type(exc).__name__}: {exc}"))
+    finally:
+        if sink is not None:
+            sink.close()
 
 
 def run_fleet(
@@ -95,14 +115,18 @@ def run_fleet(
     sync_every: int = 0,
     config: Optional[EngineConfig] = None,
     timeout: float = 120.0,
+    events_dir: Optional[Union[str, Path]] = None,
 ) -> List[WorkerReport]:
     """Serve ``calls`` across ``workers`` processes sharing ``store``.
 
     The call stream is dealt round-robin (worker ``i`` serves
     ``calls[i::workers]``); with ``sync_every > 0`` each worker
     republishes its merged profile every that many calls, in addition to
-    the final save each worker always performs.  Raises ``RuntimeError``
-    if any worker dies, with the worker's own error message.
+    the final save each worker always performs.  With ``events_dir``
+    each worker streams its typed events to
+    ``<events_dir>/worker-<i>.jsonl`` as they happen.  Raises
+    ``RuntimeError`` if any worker dies, with the worker's own error
+    message.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -120,6 +144,7 @@ def run_fleet(
                 config,
                 list(calls[index::workers]),
                 sync_every,
+                None if events_dir is None else str(events_dir),
                 queue,
             ),
             daemon=True,

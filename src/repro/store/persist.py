@@ -184,6 +184,17 @@ class ArtifactStore:
                 result.append(artifact.key)
         return result
 
+    def fingerprints(self) -> List[str]:
+        """Every config-fingerprint shard currently holding entries."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return []
+        return sorted(
+            shard.name
+            for shard in objects.iterdir()
+            if shard.is_dir() and any(shard.glob("*.json"))
+        )
+
     # ------------------------------------------------------------------ #
     # Writes (merge-and-republish).
     # ------------------------------------------------------------------ #
@@ -235,6 +246,47 @@ class ArtifactStore:
                 path, json.dumps(merged.as_json(), sort_keys=True, indent=1)
             )
         return key
+
+    def discard(
+        self,
+        *,
+        function: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+    ) -> List[ArtifactKey]:
+        """Remove entries matching the given coordinates; return their keys.
+
+        At least one selector is required — a bare ``discard()`` wiping
+        the whole store would be too easy to reach by accident (``repro
+        store gc`` enforces the same rule).  Shards left empty are
+        pruned along with their advisory lock files.
+        """
+        if function is None and fingerprint is None:
+            raise ValueError(
+                "discard() needs a function and/or fingerprint selector"
+            )
+        removed: List[ArtifactKey] = []
+        for key in self.keys(fingerprint):
+            if function is not None and key.function != function:
+                continue
+            shard = self._shard_dir(key.config_fingerprint)
+            path = self._entry_path(key.config_fingerprint, key.function)
+            with self._EntryLock(shard / f"{key.function}.lock"):
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    continue
+            removed.append(key)
+        objects = self.root / "objects"
+        if objects.is_dir():
+            for shard in objects.iterdir():
+                if shard.is_dir() and not any(shard.glob("*.json")):
+                    for lock in shard.glob("*.lock"):
+                        lock.unlink(missing_ok=True)
+                    try:
+                        shard.rmdir()
+                    except OSError:
+                        pass
+        return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ArtifactStore {self.root} ({len(self.keys())} entries)>"

@@ -835,6 +835,8 @@ class AdaptiveRuntime:
         state: TieredFunction,
         version: CompiledVersion,
         key: VersionKey = GENERIC_KEY,
+        *,
+        compile_seconds: float = 0.0,
     ) -> None:
         """Atomically publish a finished version into the version table."""
         # Pre-build the backend artifact on the compiling thread so the
@@ -858,6 +860,7 @@ class AdaptiveRuntime:
                 inlined_frames=version.inlined_frames,
                 key=str(key),
                 versions=live,
+                compile_seconds=round(compile_seconds, 6),
             )
         )
         if added:
@@ -917,10 +920,16 @@ class AdaptiveRuntime:
         must never swallow a compiler bug silently.
         """
         try:
+            start = time.perf_counter()
             version = self._build_version(state)
             with state.lock:
                 key = state.compile_key or GENERIC_KEY
-            self._install(state, version, key)
+            self._install(
+                state,
+                version,
+                key,
+                compile_seconds=time.perf_counter() - start,
+            )
         except BaseException as exc:
             if sticky_errors:
                 with state.lock:
@@ -1850,5 +1859,79 @@ class AdaptiveRuntime:
                 "versions_added": state.versions_added,
                 "versions_retired": state.versions_retired,
                 "entry_dispatches": state.entry_dispatches,
+            }
+
+    def introspect(self, name: str) -> Dict[str, object]:
+        """A read-only, JSON-safe snapshot of one function's tier state.
+
+        The operator-surface view the ``repro inspect`` CLI renders:
+        everything :meth:`stats` counts, plus the facts the counters
+        summarize away — the live version table (per-version dispatch
+        hits and per-guard-point failure counters), the continuation
+        cache's entries with their hit counts, the refuted speculation
+        reasons scoped per version key, and the compile pipeline's
+        in-flight claim.  Taken atomically under the state lock; the
+        result is plain data, safe to hold, render, or serialize while
+        the runtime keeps tiering.
+        """
+        state = self.functions[name]
+        with state.lock:
+            versions = [
+                {
+                    "key": str(entry.key),
+                    "speculative": entry.version.speculative,
+                    "guards": len(entry.version.pair.guard_points()),
+                    "inlined_frames": entry.version.inlined_frames,
+                    "hits": entry.hits,
+                    "last_used": entry.last_used,
+                    "dispatched": entry.key == state.last_dispatched_key,
+                    "guard_failures": {
+                        str(point): count
+                        for point, count in sorted(
+                            entry.failures_at.items(), key=lambda kv: str(kv[0])
+                        )
+                    },
+                }
+                for entry in state.versions
+            ]
+            continuations = [
+                {
+                    "key": str(ckey[0]),
+                    "point": str(ckey[1]),
+                    "live": sorted(ckey[2]),
+                    "hits": cached.hits,
+                }
+                for ckey, cached in sorted(
+                    state.continuations.items(),
+                    key=lambda kv: (str(kv[0][0]), str(kv[0][1])),
+                )
+            ]
+            refuted = {
+                str(key): sorted(str(reason) for reason in reasons)
+                for key, reasons in sorted(
+                    state.refuted_reasons.items(), key=lambda kv: str(kv[0])
+                )
+                if reasons
+            }
+            return {
+                "function": name,
+                "tier": "optimized" if state.versions else "base",
+                "calls": state.call_count,
+                "params": list(state.base.params),
+                "versions": versions,
+                "continuations": continuations,
+                "continuation_capacity": self.config.continuation_cache_size,
+                "refuted_reasons": refuted,
+                "compile_inflight": state.compile_inflight,
+                "compile_key": (
+                    str(state.compile_key)
+                    if state.compile_key is not None
+                    else None
+                ),
+                "compile_error": (
+                    repr(state.compile_error)
+                    if state.compile_error is not None
+                    else None
+                ),
             }
 
