@@ -68,6 +68,14 @@ Emits ``BENCH_speculation.json`` with three kinds of metrics:
   ``--polymorphic-floor`` gate (default 2x) requires the ratio to clear
   the floor on at least 2 of the 3 kernels.
 
+* **verification overhead** — ``strict_vs_off_compile`` per loop
+  kernel: the wall-clock ratio of building a speculative version *and*
+  statically proving its deopt metadata sound (the
+  ``verify_deopt=strict`` publication gate) over the bare build.  The
+  check enforces a hard per-kernel cap (``--verify-overhead-limit``,
+  default 0.15, i.e. 1.15x): the soundness proof must stay a small
+  fraction of compile time or nobody will leave it on.
+
 * **warm starts** — ``cold_vs_warm_start`` per call-heavy kernel: the
   worst single-call latency inside a cold engine's warmup window
   (profiled base-tier calls plus the synchronous tier-up stall) versus
@@ -849,6 +857,60 @@ def _cold_vs_warm_start() -> dict:
     }
 
 
+def _verify_overhead(repeats: int) -> dict:
+    """Compile-time cost of strict static verification, per loop kernel.
+
+    Each kernel is profiled once; the timed A/B compares the full
+    version build (speculative pipeline + deopt plans + forward
+    mapping — exactly what ``_build_version`` does) against the same
+    build followed by :func:`repro.analysis.soundness.verify_version`,
+    sampled alternately so clock drift cancels.  The verified side also
+    hard-asserts every obligation proves clean — a kernel the verifier
+    flags is a correctness bug, not a slow benchmark.
+    """
+    from repro.analysis.soundness import verify_version
+    from repro.vm.runtime import CompiledVersion
+
+    ratios: dict = {}
+    for name in LOOP_KERNEL_NAMES:
+        function = benchmark_function(name)
+        profile = ValueProfile()
+        interp = Interpreter(profiler=profile)
+        for _ in range(6):
+            args, memory = benchmark_arguments(name)
+            interp.run(function, args, memory=memory)
+        kernel_profile = profile.function(name)
+
+        def build(function=function, kernel_profile=kernel_profile):
+            pair = OSRTransDriver(
+                speculative_pipeline(kernel_profile, min_samples=2)
+            ).run(function)
+            plans, uncovered = pair.deopt_plans()
+            assert not uncovered
+            keep_alive = frozenset()
+            for plan in plans.values():
+                keep_alive |= plan.keep_alive()
+            return CompiledVersion(
+                pair=pair,
+                plans=plans,
+                forward_mapping=pair.forward_mapping(),
+                keep_alive=keep_alive,
+                speculative=bool(pair.guard_points()),
+            )
+
+        def build_and_verify(name=name, build=build):
+            report = verify_version(build(), function_name=name)
+            assert report.ok, report.trace()
+
+        off_time, strict_time = _ab_medians(build, build_and_verify, repeats)
+        ratios[name] = round(strict_time / off_time, 4)
+    return {
+        "strict_vs_off_compile": ratios,
+        "max_verify_overhead": round(max(ratios.values()), 4),
+        "kernels": list(LOOP_KERNEL_NAMES),
+    }
+
+
 #: Calls per phase block in the polymorphic-dispatch measurement; small
 #: enough that a timed batch visits every phase several times, large
 #: enough that a phase's calls amortize its first dispatch switch.
@@ -977,6 +1039,7 @@ SECTION_NAMES = (
     "concurrency",
     "warm_start",
     "polymorphic",
+    "verify_overhead",
 )
 
 
@@ -990,6 +1053,7 @@ def record(repeats: int, only=None, dump_sources: Path = None) -> dict:
         "concurrency": lambda: {**_concurrent_throughput(), **_compile_stall()},
         "warm_start": _cold_vs_warm_start,
         "polymorphic": lambda: _polymorphic_dispatch(repeats),
+        "verify_overhead": lambda: _verify_overhead(repeats),
     }
     assert set(sections) == set(SECTION_NAMES)
     chosen = [
@@ -1019,6 +1083,7 @@ def check(
     warm_floor: float = 2.0,
     polymorphic_floor: float = 2.0,
     polymorphic_floor_kernels: int = 2,
+    verify_overhead_limit: float = 0.15,
 ) -> list:
     problems = []
     floors = dict(LOOP_SPEEDUP_FLOORS)
@@ -1095,6 +1160,19 @@ def check(
                     f"worst warmup call by only {ratio}x "
                     f"(floor {stall_floor}x)"
                 )
+
+    # Verification overhead: a hard per-kernel cap against the *current*
+    # recording only (the ratio is machine-independent to first order —
+    # both sides run the same build).  Strict verification must stay a
+    # small fraction of compile time on every loop kernel.
+    verify = current.get("verify_overhead", {})
+    for key, ratio in verify.get("strict_vs_off_compile", {}).items():
+        if ratio > 1.0 + verify_overhead_limit:
+            problems.append(
+                f"verify overhead on {key}: strict compile is {ratio}x the "
+                f"unverified build, over the "
+                f"{1.0 + verify_overhead_limit:.2f}x limit"
+            )
 
     # Event-bus overhead: a hard cap against the *current* recording only
     # (no baseline needed — the contract is absolute: observability must
@@ -1270,6 +1348,15 @@ def main(argv=None) -> int:
         default=2,
         help="how many polymorphic kernels must clear --polymorphic-floor",
     )
+    parser.add_argument(
+        "--verify-overhead-limit",
+        type=float,
+        default=0.15,
+        help=(
+            "maximum accepted compile-time cost of strict static "
+            "verification, per loop kernel (fraction; 0.15 = 1.15x)"
+        ),
+    )
     parser.add_argument("--repeats", type=int, default=30)
     parser.add_argument(
         "--only",
@@ -1353,6 +1440,7 @@ def main(argv=None) -> int:
         options.warm_floor,
         options.polymorphic_floor,
         options.polymorphic_floor_kernels,
+        options.verify_overhead_limit,
     )
     if problems:
         print("benchmark regression check FAILED:", file=sys.stderr)

@@ -1,0 +1,44 @@
+"""Static OSR-soundness verification.
+
+The paper's mappings are *correct by construction*; this package checks
+the construction.  :func:`verify_version` proves the three obligation
+packs (mapping completeness, compensation purity, structural
+invariants) over a :class:`~repro.vm.runtime.CompiledVersion` before the
+runtime publishes it — see :mod:`repro.analysis.soundness.obligations`
+for the pack definitions and :mod:`repro.analysis.soundness.lint` for
+the advisory lint layer behind ``repro lint``.
+
+The runtime gate lives in :mod:`repro.vm.runtime` behind
+``EngineConfig.verify_deopt = off|warn|strict``; this package never
+imports the runtime, so it can be used standalone over hydrated store
+payloads and hand-built version pairs alike.
+"""
+
+from .lint import LintFinding, lint_function, lint_tier_payload, lint_version
+from .obligations import (
+    OBLIGATIONS,
+    PROVED,
+    UNCHECKED,
+    VIOLATED,
+    WARNED,
+    UnsoundVersionError,
+    VerifyReport,
+    Violation,
+)
+from .verifier import verify_version
+
+__all__ = [
+    "OBLIGATIONS",
+    "PROVED",
+    "VIOLATED",
+    "WARNED",
+    "UNCHECKED",
+    "Violation",
+    "VerifyReport",
+    "UnsoundVersionError",
+    "verify_version",
+    "LintFinding",
+    "lint_function",
+    "lint_version",
+    "lint_tier_payload",
+]

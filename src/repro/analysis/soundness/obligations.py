@@ -1,0 +1,141 @@
+"""Obligations, violations and reports for the static OSR-soundness verifier.
+
+The verifier (:mod:`repro.analysis.soundness.verifier`) proves three
+**obligation packs** over every :class:`~repro.vm.runtime.CompiledVersion`
+before the runtime publishes it:
+
+* ``completeness`` — for every guard and OSR point, the recorded mapping
+  plus the plan's compensation code *definitely assigns* every base-tier
+  variable live at the landing point, in every frame of a multi-frame
+  plan (the paper's live-variable-bisimulation requirement, checked with
+  liveness + definite-assignment dataflow instead of sample replay);
+
+* ``purity`` — compensation and parameter-seed code is side-effect-free
+  (the expression grammar is closed over ``Const``/``Var``/``Undef``/
+  ``UnOp``/``BinOp`` with known operators; nothing can write memory or
+  call out) and reads only values certainly bound when the guard fires,
+  with every dead read covered by the version's K_avail keep-alive set;
+
+* ``structure`` — IR well-formedness through the hardened
+  :func:`repro.ir.verify.verify_function` (SSA dominance, phi arity and
+  edge order, guard register definedness), guard/plan coverage both
+  ways, guard reachability, forward/backward mapping range validity
+  (every entry names a real program point of its function), and
+  version-table dispatch totality.
+
+A failed obligation is a :class:`Violation`; the full result of one
+verification run is a :class:`VerifyReport` whose :meth:`~VerifyReport.trace`
+renders the human-readable obligation trace that ``strict`` mode raises
+inside :class:`UnsoundVersionError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+__all__ = [
+    "OBLIGATIONS",
+    "PROVED",
+    "VIOLATED",
+    "WARNED",
+    "UNCHECKED",
+    "Violation",
+    "VerifyReport",
+    "UnsoundVersionError",
+]
+
+#: The three obligation packs, in reporting order.
+OBLIGATIONS = ("completeness", "purity", "structure")
+
+#: Per-guard obligation statuses (``repro inspect --show guards``).
+PROVED = "proved"
+VIOLATED = "violated"
+WARNED = "warned"
+UNCHECKED = "unchecked"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed proof obligation, named and located."""
+
+    #: Obligation pack (one of :data:`OBLIGATIONS`).
+    obligation: str
+    #: Fine-grained rule slug inside the pack (e.g. ``definite-assignment``).
+    rule: str
+    #: The function whose version failed.
+    function: str
+    #: What could not be proved, in one sentence.
+    detail: str
+    #: The guard/OSR point string the violation anchors to, when it has one.
+    point: Optional[str] = None
+    #: Frame index inside a multi-frame plan (innermost = 0), when relevant.
+    frame: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        """The obligation's full name, ``pack/rule``."""
+        return f"{self.obligation}/{self.rule}"
+
+    def __str__(self) -> str:
+        where = f" at {self.point}" if self.point is not None else ""
+        stack = f" (frame #{self.frame})" if self.frame is not None else ""
+        return f"[{self.name}] @{self.function}{where}{stack}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """The outcome of statically verifying one compiled version."""
+
+    function: str
+    #: The version-table key the version is (about to be) published under.
+    key: str
+    violations: Tuple[Violation, ...] = ()
+    #: Guard point string → :data:`PROVED` or :data:`VIOLATED`.  Only
+    #: point-anchored violations mark a guard; version-level violations
+    #: (dispatch totality, IR malformation) live in :attr:`violations`.
+    guard_status: Mapping[str, str] = field(default_factory=dict)
+    checked_plans: int = 0
+    checked_frames: int = 0
+    checked_mappings: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def obligations_failed(self) -> Tuple[str, ...]:
+        """Distinct failed obligation names (``pack/rule``), sorted."""
+        return tuple(sorted({violation.name for violation in self.violations}))
+
+    def trace(self) -> str:
+        """The human-readable obligation trace."""
+        scope = (
+            f"{self.checked_plans} deopt plan(s), "
+            f"{self.checked_frames} frame(s), "
+            f"{self.checked_mappings} mapping entr{'y' if self.checked_mappings == 1 else 'ies'}"
+        )
+        if self.ok:
+            return (
+                f"@{self.function} [{self.key}]: all obligations proved "
+                f"over {scope}"
+            )
+        lines = [
+            f"@{self.function} [{self.key}]: {len(self.violations)} "
+            f"obligation violation(s) over {scope}:"
+        ]
+        lines.extend(f"  - {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+class UnsoundVersionError(RuntimeError):
+    """A version failed static verification under ``verify_deopt=strict``.
+
+    Raised *before* publication: the unsound version never enters the
+    version table, is never dispatched to, and is never persisted.  The
+    message is the report's full obligation trace.
+    """
+
+    def __init__(self, report: VerifyReport, *, context: str = "") -> None:
+        self.report = report
+        prefix = f"{context}: " if context else ""
+        super().__init__(prefix + report.trace())

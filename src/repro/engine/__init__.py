@@ -35,6 +35,7 @@ from .events import (
     OSREntryRejected,
     RingBufferRecorder,
     RuntimeEvent,
+    SoundnessViolation,
     SpeculationRejected,
     Tier,
     TierUp,
@@ -88,6 +89,7 @@ __all__ = [
     "ContinuationCached",
     "ContinuationEvicted",
     "MultiFrameDeopt",
+    "SoundnessViolation",
     "Invalidated",
     "REREGISTERED",
     "EventBus",

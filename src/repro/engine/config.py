@@ -21,12 +21,40 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from ..core.reconstruct import ReconstructionMode
 
-__all__ = ["EngineConfig", "LEGACY_KWARG_FIELDS", "FINGERPRINT_FIELDS"]
+__all__ = [
+    "EngineConfig",
+    "LEGACY_KWARG_FIELDS",
+    "FINGERPRINT_FIELDS",
+    "verify_deopt_from_env",
+]
+
+#: Accepted values for :attr:`EngineConfig.verify_deopt` (besides ``None``).
+VERIFY_DEOPT_MODES: Tuple[str, ...] = ("off", "warn", "strict")
+
+
+def verify_deopt_from_env() -> str:
+    """Resolve the soundness-verifier mode from ``REPRO_VERIFY_DEOPT``.
+
+    Empty or unset means ``"off"``; anything else must name a mode.
+    Validated eagerly for the same reason as ``REPRO_BACKEND``: a typo'd
+    CI lane should fail at engine construction, not silently verify
+    nothing.
+    """
+    value = os.environ.get("REPRO_VERIFY_DEOPT", "").strip().lower()
+    if not value:
+        return "off"
+    if value not in VERIFY_DEOPT_MODES:
+        raise ValueError(
+            f"REPRO_VERIFY_DEOPT={value!r} names no verifier mode; "
+            f"choose from {sorted(VERIFY_DEOPT_MODES)}"
+        )
+    return value
 
 
 #: Fields that determine *what optimized code the engine produces* — the
@@ -144,6 +172,19 @@ class EngineConfig:
     #: Per-function cap on cached dispatched-OSR continuations.
     continuation_cache_size: int = 32
 
+    # --- static soundness verification ----------------------------------- #
+    #: Publication gate for the static OSR-soundness verifier
+    #: (:mod:`repro.analysis.soundness`): ``"off"`` publishes versions
+    #: unchecked (the historical behaviour), ``"warn"`` publishes but
+    #: emits a :class:`~repro.engine.events.SoundnessViolation` event per
+    #: failed obligation, ``"strict"`` refuses publication with a typed
+    #: :class:`~repro.analysis.soundness.UnsoundVersionError`.  ``None``
+    #: defers to the ``REPRO_VERIFY_DEOPT`` environment variable at
+    #: engine construction (default ``"off"``).  Deliberately not part of
+    #: the artifact fingerprint: verification never changes what code is
+    #: compiled, only whether it may be published.
+    verify_deopt: Optional[str] = None
+
     def __post_init__(self) -> None:
         _require(self.hotness_threshold >= 1,
                  f"hotness_threshold must be >= 1, got {self.hotness_threshold}")
@@ -174,6 +215,9 @@ class EngineConfig:
                  f"got {self.continuation_cache_size}")
         _require(isinstance(self.mode, ReconstructionMode),
                  f"mode must be a ReconstructionMode, got {self.mode!r}")
+        _require(self.verify_deopt in (None, "off", "warn", "strict"),
+                 f"verify_deopt must be one of 'off', 'warn', 'strict' "
+                 f"(or None for REPRO_VERIFY_DEOPT), got {self.verify_deopt!r}")
         if self.passes is not None and not isinstance(self.passes, tuple):
             # Accept any sequence at the call site; store a tuple so the
             # frozen config stays value-like.
@@ -212,6 +256,8 @@ class EngineConfig:
 
         if "opt_backend" not in overrides:
             overrides["opt_backend"] = backend_name_from_env()
+        if "verify_deopt" not in overrides:
+            overrides["verify_deopt"] = verify_deopt_from_env()
         return cls(**overrides)
 
     @classmethod

@@ -72,6 +72,7 @@ __all__ = [
     "ContinuationCached",
     "ContinuationEvicted",
     "MultiFrameDeopt",
+    "SoundnessViolation",
     "Invalidated",
     "REREGISTERED",
     "EventBus",
@@ -300,6 +301,26 @@ class MultiFrameDeopt(RuntimeEvent):
     kind: ClassVar[str] = "multiframe-deopt"
 
 
+@dataclass(frozen=True)
+class SoundnessViolation(RuntimeEvent):
+    """The static soundness verifier failed an obligation in warn mode.
+
+    Published once per violated obligation when ``verify_deopt="warn"``
+    lets an unproven version through — ``obligation`` is the dotted
+    ``pack/rule`` name (e.g. ``"completeness/definite-assignment"``)
+    and ``detail`` the human-readable finding.  Strict mode raises
+    :class:`~repro.analysis.soundness.UnsoundVersionError` instead and
+    publishes nothing (the version never exists).
+    """
+
+    obligation: str = ""
+    detail: str = ""
+    #: The entry-profile key of the version that failed verification.
+    key: str = "generic"
+
+    kind: ClassVar[str] = "soundness-violation"
+
+
 #: ``Invalidated.reason`` used when a name is re-registered with a new
 #: function body: the old version, its continuations, its profile and
 #: its statistics are all discarded, not just the installed code.
@@ -356,6 +377,7 @@ EVENT_TYPES: Dict[str, Type[RuntimeEvent]] = {
         ContinuationCached,
         ContinuationEvicted,
         MultiFrameDeopt,
+        SoundnessViolation,
         Invalidated,
     )
 }

@@ -34,6 +34,7 @@ from .events import (
     MultiFrameDeopt,
     OptimizingOSR,
     RuntimeEvent,
+    SoundnessViolation,
     TierUp,
     VersionAdded,
     VersionRestored,
@@ -65,6 +66,9 @@ class EngineStats:
     versions_added: int = 0
     versions_retired: int = 0
     entry_dispatches: int = 0
+    #: Obligations the static soundness verifier failed in warn mode
+    #: (strict mode raises instead and never publishes a version).
+    soundness_violations: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """The legacy ``AdaptiveRuntime.stats()`` dict shape."""
@@ -86,6 +90,7 @@ class EngineStats:
             "versions_added": self.versions_added,
             "versions_retired": self.versions_retired,
             "entry_dispatches": self.entry_dispatches,
+            "soundness_violations": self.soundness_violations,
         }
 
     @classmethod
@@ -196,6 +201,11 @@ class StatsCollector:
             stats = replace(stats, continuations=stats.continuations + 1)
         elif isinstance(event, ContinuationEvicted):
             stats = replace(stats, continuations=stats.continuations - 1)
+        elif isinstance(event, SoundnessViolation):
+            stats = replace(
+                stats,
+                soundness_violations=stats.soundness_violations + 1,
+            )
         elif isinstance(event, Invalidated):
             # The discarded version's gauges are replaced by the payload
             # of the surviving newest version (all zeros — the historical

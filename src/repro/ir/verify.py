@@ -5,8 +5,13 @@
 * every block ends in exactly one terminator, and terminators appear only
   at block ends;
 * every branch target names an existing block;
-* phi instructions appear only at block heads and have exactly one
-  incoming value per CFG predecessor;
+* phi instructions appear only at block heads, have exactly one
+  incoming value per CFG predecessor, and never sit in a block with no
+  predecessors at all (there is no edge to select a value from);
+* every guard condition references only registers the function defines
+  somewhere (parameters included) — an unknown register would otherwise
+  surface as a codegen ``NameError``/interpreter ``KeyError`` in the
+  middle of a deoptimization;
 * (in SSA mode) every register has a single definition, and every use is
   dominated by its definition.
 
@@ -20,7 +25,7 @@ from typing import Dict, List, Set
 
 from .expr import free_vars
 from .function import Function, ProgramPoint
-from .instructions import Phi, Terminator
+from .instructions import Guard, Phi, Terminator
 
 __all__ = ["VerificationError", "verify_function", "is_ssa"]
 
@@ -100,6 +105,11 @@ def verify_function(
                     )
                 incoming_labels = set(inst.incoming)
                 block_preds = preds[block.label]
+                if not block_preds:
+                    problems.append(
+                        f"phi {inst} in {block.label} sits in a block with no "
+                        "CFG predecessors (no edge selects an incoming value)"
+                    )
                 missing = block_preds - incoming_labels
                 extra = incoming_labels - block_preds
                 if missing:
@@ -115,10 +125,27 @@ def verify_function(
             else:
                 seen_non_phi = True
 
+    # Guard register definedness (independent of SSA mode: non-SSA
+    # functions get full use-before-def checking only under require_ssa,
+    # but a guard naming a register with *no definition anywhere* is
+    # malformed in any mode — it would fail exactly when the guard fires).
+    instructions = list(function.instructions())
+    defined_somewhere: Set[str] = set(function.params)
+    for _, inst in instructions:
+        defined_somewhere.update(inst.defs())
+    for point, inst in instructions:
+        if isinstance(inst, Guard):
+            unknown = sorted(free_vars(inst.cond) - defined_somewhere)
+            if unknown:
+                problems.append(
+                    f"{point}: guard condition references undefined "
+                    f"register(s) {unknown}"
+                )
+
     # Single-assignment check.
     if require_ssa:
         defined: Dict[str, ProgramPoint] = {}
-        for point, inst in function.instructions():
+        for point, inst in instructions:
             for name in inst.defs():
                 if name in function.params:
                     problems.append(
@@ -133,13 +160,13 @@ def verify_function(
                     defined[name] = point
 
         if check_dominance and not problems:
-            _check_ssa_dominance(function, problems)
+            _check_ssa_dominance(function, problems, instructions)
 
     if problems:
         raise VerificationError(function.name, problems)
 
 
-def _check_ssa_dominance(function: Function, problems: List[str]) -> None:
+def _check_ssa_dominance(function: Function, problems: List[str], instructions=None) -> None:
     """Check that each SSA use is dominated by its definition.
 
     Imported lazily to avoid a circular import at module load time
@@ -151,14 +178,16 @@ def _check_ssa_dominance(function: Function, problems: List[str]) -> None:
     cfg = ControlFlowGraph(function)
     domtree = DominatorTree(cfg)
 
+    if instructions is None:
+        instructions = list(function.instructions())
     def_block: Dict[str, str] = {name: function.entry_label for name in function.params}
     def_index: Dict[str, int] = {name: -1 for name in function.params}
-    for point, inst in function.instructions():
+    for point, inst in instructions:
         for name in inst.defs():
             def_block[name] = point.block
             def_index[name] = point.index
 
-    for point, inst in function.instructions():
+    for point, inst in instructions:
         if isinstance(inst, Phi):
             # Phi uses are checked against the corresponding predecessor edge.
             for pred, value in inst.incoming.items():

@@ -336,7 +336,9 @@ def run(
 @click.option("--calls", default=0, show_default=True, help="Warm-up calls before inspecting.")
 @click.option(
     "--show",
-    type=click.Choice(["summary", "versions", "continuations", "stats", "profile"]),
+    type=click.Choice(
+        ["summary", "versions", "guards", "continuations", "stats", "profile"]
+    ),
     default="summary",
     show_default=True,
     help="Which section of the engine state to render.",
@@ -410,6 +412,40 @@ def inspect(
                             "guard_failures": failures or None,
                         }
                     )
+        elif show == "guards":
+            columns = (
+                "function",
+                "key",
+                "point",
+                "status",
+                "failures",
+                "obligations",
+            )
+            rows = []
+            for name in sorted(engine.function_names()):
+                detail = engine.runtime.introspect(name)
+                for version in detail["versions"]:
+                    violated = {}
+                    for violation in version["soundness_violations"]:
+                        violated.setdefault(violation["point"], []).append(
+                            violation["obligation"]
+                        )
+                    for point, status in sorted(
+                        version["guard_obligations"].items()
+                    ):
+                        failed = violated.get(point, []) + violated.get(None, [])
+                        rows.append(
+                            {
+                                "function": name,
+                                "key": version["key"],
+                                "point": point,
+                                "status": status,
+                                "failures": version["guard_failures"].get(
+                                    point, 0
+                                ),
+                                "obligations": ",".join(failed) or None,
+                            }
+                        )
         elif show == "continuations":
             columns = ("function", "key", "point", "live", "hits", "capacity")
             rows = []
@@ -449,6 +485,241 @@ def inspect(
         click.echo(format_rows(rows, columns, fmt, title=f"repro inspect — {show}"))
     finally:
         engine.close()
+
+
+# --------------------------------------------------------------------- #
+# Static lint: the soundness verifier's advisory surface.
+# --------------------------------------------------------------------- #
+def _lint_row(source: str, finding) -> Dict[str, object]:
+    return {
+        "source": source,
+        "function": finding.function,
+        "rule": finding.rule,
+        "point": finding.point,
+        "detail": finding.detail,
+    }
+
+
+def _lint_minic_file(path: Path) -> List[Dict[str, object]]:
+    from ..analysis.soundness import lint_function
+    from ..frontend.lowering import compile_program
+
+    try:
+        module = compile_program(path.read_text())
+    except Exception as exc:  # frontend errors are findings, not crashes
+        return [
+            {
+                "source": str(path),
+                "function": None,
+                "rule": "frontend",
+                "point": None,
+                "detail": f"{type(exc).__name__}: {exc}",
+            }
+        ]
+    rows: List[Dict[str, object]] = []
+    for function in module:
+        rows.extend(_lint_row(str(path), f) for f in lint_function(function))
+    return rows
+
+
+def _lint_python_file(path: Path) -> List[Dict[str, object]]:
+    """Syntax-check generated Python (codegen goldens under tests/golden/)."""
+    try:
+        compile(path.read_text(), str(path), "exec")
+    except SyntaxError as exc:
+        return [
+            {
+                "source": str(path),
+                "function": None,
+                "rule": "python-syntax",
+                "point": f"{exc.lineno}:{exc.offset}",
+                "detail": exc.msg or "syntax error",
+            }
+        ]
+    return []
+
+
+def _lint_store_dir(root: Path) -> List[Dict[str, object]]:
+    from ..analysis.soundness import lint_tier_payload
+
+    artifact_store = _open_store(str(root))
+    rows: List[Dict[str, object]] = []
+    try:
+        for key in artifact_store.keys():
+            artifact = artifact_store.get(key.function, key.config_fingerprint)
+            if artifact is None:
+                continue
+            payloads = (
+                [item["tier"] for item in artifact.tier_versions]
+                if artifact.tier_versions
+                else ([artifact.tier] if artifact.tier is not None else [])
+            )
+            for payload in payloads:
+                rows.extend(
+                    _lint_row(str(root), f)
+                    for f in lint_tier_payload(payload, key.function)
+                )
+    except StoreError as exc:
+        raise click.ClickException(f"{type(exc).__name__}: {exc}")
+    return rows
+
+
+def _lint_path(path: Path) -> List[Dict[str, object]]:
+    if path.is_dir():
+        if (path / "store.json").exists():
+            return _lint_store_dir(path)
+        rows: List[Dict[str, object]] = []
+        for child in sorted(path.rglob("*")):
+            if child.suffix == ".mc":
+                rows.extend(_lint_minic_file(child))
+            elif child.suffix == ".py" or child.name.endswith(".py.txt"):
+                rows.extend(_lint_python_file(child))
+        return rows
+    if path.suffix == ".mc":
+        return _lint_minic_file(path)
+    if path.suffix == ".py" or path.name.endswith(".py.txt"):
+        return _lint_python_file(path)
+    if path.name == "store.json":
+        return _lint_store_dir(path.parent)
+    raise click.BadParameter(
+        f"cannot lint {path}: expected a .mc source, a .py/.py.txt file, "
+        f"an artifact store, or a directory of those"
+    )
+
+
+def _lint_workload(name: str, calls: int, config: EngineConfig) -> List[Dict[str, object]]:
+    """Warm a named workload and lint every version the engine published."""
+    from ..analysis.soundness import lint_version
+    from ..engine.facade import Engine
+
+    engine = Engine.from_source(_workload_source(name), config=config)
+    rows: List[Dict[str, object]] = []
+    try:
+        for call_args, memory in _workload_calls(name, calls, 0):
+            engine.call(name, call_args, memory=memory)
+        engine.wait_for_compilation(timeout=30.0)
+        for fn_name in engine.function_names():
+            state = engine.runtime.functions[fn_name]
+            with state.lock:
+                entries = [(e.key, e.version) for e in state.versions]
+            for key, version in entries:
+                rows.extend(
+                    _lint_row(f"workload:{name}", f)
+                    for f in lint_version(version, key=key, function_name=fn_name)
+                )
+    finally:
+        engine.close()
+    return rows
+
+
+def _lint_benchmarks() -> List[Dict[str, object]]:
+    """Build and lint a speculative version of each benchmark loop kernel."""
+    from ..analysis.soundness import lint_version
+    from ..core.osr_trans import OSRTransDriver
+    from ..ir.interp import Interpreter
+    from ..passes import speculative_pipeline
+    from ..vm.profile import ValueProfile
+    from ..vm.runtime import CompiledVersion
+    from ..workloads import (
+        LOOP_KERNEL_NAMES,
+        benchmark_arguments,
+        benchmark_function,
+    )
+
+    rows: List[Dict[str, object]] = []
+    for name in LOOP_KERNEL_NAMES:
+        function = benchmark_function(name)
+        profile = ValueProfile()
+        interp = Interpreter(profiler=profile)
+        for _ in range(6):
+            args, memory = benchmark_arguments(name)
+            interp.run(function, args, memory=memory)
+        pair = OSRTransDriver(
+            speculative_pipeline(profile.function(name), min_samples=2)
+        ).run(function)
+        plans, _uncovered = pair.deopt_plans()
+        keep_alive = frozenset().union(
+            *(plan.keep_alive() for plan in plans.values())
+        ) if plans else frozenset()
+        version = CompiledVersion(
+            pair=pair,
+            plans=plans,
+            forward_mapping=pair.forward_mapping(),
+            keep_alive=keep_alive,
+            speculative=bool(pair.guard_points()),
+        )
+        rows.extend(
+            _lint_row(f"benchmark:{name}", f)
+            for f in lint_version(version, function_name=name)
+        )
+    return rows
+
+
+LINT_COLUMNS = ("source", "function", "rule", "point", "detail")
+
+
+@main.command()
+@click.argument("paths", nargs=-1, type=click.Path(exists=True))
+@click.option(
+    "--workload",
+    "workloads",
+    multiple=True,
+    help="Warm a named workload kernel and lint its published versions "
+    "(repeatable).",
+)
+@click.option(
+    "--benchmarks",
+    is_flag=True,
+    help="Build and lint speculative versions of the benchmark loop kernels.",
+)
+@click.option(
+    "--calls",
+    default=12,
+    show_default=True,
+    help="Warm-up calls per --workload before linting.",
+)
+@config_options
+@format_option
+def lint(
+    paths: Sequence[str],
+    workloads: Sequence[str],
+    benchmarks: bool,
+    calls: int,
+    backend: Optional[str],
+    overrides: Sequence[str],
+    fmt: str,
+) -> None:
+    """Statically lint sources, stores, workloads and benchmark kernels.
+
+    PATHS may be MiniC sources (.mc), generated-Python goldens
+    (.py/.py.txt), artifact store directories, or directories of any of
+    those.  Every finding of the soundness verifier and the IR lint pack
+    (dead guards, unreachable blocks, unused keep-alives, mapping range
+    errors) is reported; the exit status is 1 when anything was found.
+    """
+    if not paths and not workloads and not benchmarks:
+        raise click.UsageError(
+            "nothing to lint: provide PATHS, --workload, or --benchmarks"
+        )
+    rows: List[Dict[str, object]] = []
+    for raw in paths:
+        rows.extend(_lint_path(Path(raw)))
+    if workloads or benchmarks:
+        config = _build_config(backend, overrides)
+        for name in workloads:
+            rows.extend(_lint_workload(name, calls, config))
+        if benchmarks:
+            rows.extend(_lint_benchmarks())
+    click.echo(
+        format_rows(
+            rows,
+            LINT_COLUMNS,
+            fmt,
+            title=f"repro lint — {len(rows)} finding(s)",
+        )
+    )
+    if rows:
+        sys.exit(1)
 
 
 # --------------------------------------------------------------------- #

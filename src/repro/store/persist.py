@@ -444,11 +444,48 @@ def hydrate_runtime(
             # ``max_versions`` keeps the most recently persisted entries.
             for item in artifact.tier_versions:
                 version = decode_version(item["tier"], state.base, _resolve)
-                runtime.install_restored(
-                    name, version, key=VersionKey.from_json(item.get("key", []))
+                _install_verified(
+                    runtime,
+                    resolved,
+                    name,
+                    version,
+                    key=VersionKey.from_json(item.get("key", [])),
                 )
         else:
             version = decode_version(artifact.tier, state.base, _resolve)
-            runtime.install_restored(name, version)
+            _install_verified(runtime, resolved, name, version)
         restored.append(name)
     return restored
+
+
+def _install_verified(
+    runtime: AdaptiveRuntime,
+    store: ArtifactStore,
+    name: str,
+    version,
+    *,
+    key: Optional[VersionKey] = None,
+) -> None:
+    """Install a hydrated version, pinning store context on strict failures.
+
+    Under ``verify_deopt="strict"`` the runtime's publication gate
+    rejects unsound artifacts with
+    :class:`~repro.analysis.soundness.UnsoundVersionError`; re-raising
+    it with the store's location prepended tells the operator *which
+    artifact on disk* failed, not just which function.
+    """
+    from ..analysis.soundness import UnsoundVersionError
+
+    try:
+        if key is None:
+            runtime.install_restored(name, version)
+        else:
+            runtime.install_restored(name, version, key=key)
+    except UnsoundVersionError as exc:
+        raise UnsoundVersionError(
+            exc.report,
+            context=(
+                f"artifact store {store.root} holds an unsound "
+                f"persisted version of @{name}"
+            ),
+        ) from exc

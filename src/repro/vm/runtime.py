@@ -98,11 +98,20 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
+from ..analysis.soundness import (
+    PROVED,
+    UNCHECKED,
+    VIOLATED,
+    WARNED,
+    UnsoundVersionError,
+    VerifyReport,
+    verify_version,
+)
 from ..core.frames import DeoptPlan, FrameState
 from ..core.mapping import OSRMapping
 from ..core.osr_trans import OSRTransDriver, VersionPair
 from ..core.osrkit import ContinuationInfo, make_continuation
-from ..engine.config import EngineConfig
+from ..engine.config import EngineConfig, verify_deopt_from_env
 from ..engine.events import (
     REREGISTERED,
     ContinuationCached,
@@ -118,6 +127,7 @@ from ..engine.events import (
     OSREntryRejected,
     RingBufferRecorder,
     RuntimeEvent,
+    SoundnessViolation,
     SpeculationRejected,
     Tier,
     TierUp,
@@ -251,6 +261,10 @@ class SpecializedVersion:
     failures_at: Dict[ProgramPoint, int] = field(default_factory=dict)
     #: Lazily built full backward mapping of this version.
     backward_cache: Optional[OSRMapping] = None
+    #: The static soundness verifier's report for this version (``None``
+    #: when it was published with ``verify_deopt="off"``) — the
+    #: inspection API renders per-guard obligation statuses from it.
+    verify_report: Optional[VerifyReport] = None
 
 
 class ExecutionContext:
@@ -306,6 +320,9 @@ class TieredFunction:
     entry_dispatches: int = 0
     versions_added: int = 0
     versions_retired: int = 0
+    #: Obligations the soundness verifier failed in warn mode (strict
+    #: raises before the version exists, off never checks).
+    soundness_violations: int = 0
     #: Key the most recent call dispatched to (``None`` before the first
     #: optimized call) — the inspection API marks this one.
     last_dispatched_key: Optional[VersionKey] = None
@@ -437,6 +454,15 @@ class AdaptiveRuntime:
             else EventBus(RingBufferRecorder(self.config.event_buffer_size))
         )
         self.profile = ShardedValueProfile()
+        #: Resolved soundness-verifier mode: ``config.verify_deopt`` when
+        #: set, otherwise ``REPRO_VERIFY_DEOPT`` (validated eagerly), so
+        #: directly constructed configs honor the environment the same
+        #: way :meth:`EngineConfig.from_env` does.
+        self.verify_deopt: str = (
+            self.config.verify_deopt
+            if self.config.verify_deopt is not None
+            else verify_deopt_from_env()
+        )
         self.opt_backend: ExecutionBackend = resolve_backend(
             self.config.opt_backend, step_limit=self.config.step_limit
         )
@@ -762,6 +788,60 @@ class AdaptiveRuntime:
             speculative=False,
         )
 
+    def _verify_before_publish(
+        self,
+        state: TieredFunction,
+        version: CompiledVersion,
+        key: VersionKey,
+        *,
+        restored: bool = False,
+    ) -> Optional[VerifyReport]:
+        """Run the static soundness verifier against an unpublished version.
+
+        The publication gate of ``EngineConfig.verify_deopt``: ``off``
+        skips (returns ``None``), ``strict`` raises
+        :class:`~repro.analysis.soundness.UnsoundVersionError` — the
+        version never reaches the table, and on the background pipeline
+        the error goes sticky exactly like a compiler crash — and
+        ``warn`` publishes anyway but counts each failed obligation and
+        announces it as a :class:`~repro.engine.events.SoundnessViolation`
+        event.  The report is attached to the published entry so
+        ``repro inspect --show guards`` can render per-guard statuses.
+        """
+        if self.verify_deopt == "off":
+            return None
+        report = verify_version(
+            version, key=key, function_name=state.base.name
+        )
+        if report.ok:
+            return report
+        if self.verify_deopt == "strict":
+            origin = "restored artifact" if restored else "compiled version"
+            raise UnsoundVersionError(
+                report,
+                context=(
+                    f"refusing to publish {origin} for @{state.base.name} "
+                    f"[key {key}]"
+                ),
+            )
+        with state.lock:
+            state.soundness_violations += len(report.violations)
+        for violation in report.violations:
+            self._publish(
+                SoundnessViolation(
+                    state.base.name,
+                    (
+                        ProgramPoint.parse(violation.point)
+                        if violation.point is not None
+                        else None
+                    ),
+                    obligation=violation.name,
+                    detail=violation.detail,
+                    key=str(key),
+                )
+            )
+        return report
+
     def _admit_version(
         self,
         state: TieredFunction,
@@ -770,6 +850,7 @@ class AdaptiveRuntime:
         *,
         backward: Optional[OSRMapping] = None,
         restored: bool = False,
+        report: Optional[VerifyReport] = None,
     ) -> Tuple[int, List[SpecializedVersion], int, bool]:
         """Insert ``version`` into the table under the state lock.
 
@@ -789,6 +870,7 @@ class AdaptiveRuntime:
                 version=version,
                 last_used=state.dispatch_seq,
                 backward_cache=backward,
+                verify_report=report,
             )
         )
         retired: List[SpecializedVersion] = []
@@ -839,6 +921,10 @@ class AdaptiveRuntime:
         compile_seconds: float = 0.0,
     ) -> None:
         """Atomically publish a finished version into the version table."""
+        # The soundness gate runs first, on the compiling thread: a
+        # strict rejection must happen before the backend spends work on
+        # an artifact that will never be published.
+        report = self._verify_before_publish(state, version, key)
         # Pre-build the backend artifact on the compiling thread so the
         # published version is ready to *run*: without this, the first
         # optimized call would pay the closure lowering on the request
@@ -850,7 +936,7 @@ class AdaptiveRuntime:
             if self.functions.get(state.base.name) is not state:
                 return  # superseded by a re-registration while compiling
             live, retired, continuations, added = self._admit_version(
-                state, version, key
+                state, version, key, report=report
             )
         self._publish(
             TierUp(
@@ -892,12 +978,21 @@ class AdaptiveRuntime:
         one call per version, oldest first, each under its own ``key``.
         """
         state = self.functions[name]
+        # Hydrated artifacts are *less* trusted than local builds — they
+        # may come from an older engine or a hand-edited store — so the
+        # gate covers them identically.
+        report = self._verify_before_publish(state, version, key, restored=True)
         self.opt_backend.prepare(version.optimized)
         with state.lock:
             if self.functions.get(name) is not state:
                 return  # superseded by a re-registration while hydrating
             live, retired, continuations, _ = self._admit_version(
-                state, version, key, backward=version.backward, restored=True
+                state,
+                version,
+                key,
+                backward=version.backward,
+                restored=True,
+                report=report,
             )
         self._publish(
             VersionRestored(
@@ -1859,7 +1954,31 @@ class AdaptiveRuntime:
                 "versions_added": state.versions_added,
                 "versions_retired": state.versions_retired,
                 "entry_dispatches": state.entry_dispatches,
+                "soundness_violations": state.soundness_violations,
             }
+
+    @staticmethod
+    def _guard_obligations(entry: SpecializedVersion) -> Dict[str, str]:
+        """Per-guard-point obligation status of one published version.
+
+        ``proved`` — the verifier discharged every obligation anchored
+        at the point; ``warned`` — warn mode published the version
+        despite a violation there (or a whole-version violation that
+        taints every guard); ``unchecked`` — the version was published
+        with the verifier off.
+        """
+        guard_points = [str(p) for p in entry.version.pair.guard_points()]
+        report = entry.verify_report
+        if report is None:
+            return {point: UNCHECKED for point in guard_points}
+        global_violation = any(v.point is None for v in report.violations)
+        statuses: Dict[str, str] = {}
+        for point in guard_points:
+            status = report.guard_status.get(point, PROVED)
+            if status == VIOLATED or (status == PROVED and global_violation):
+                status = WARNED
+            statuses[point] = status
+        return statuses
 
     def introspect(self, name: str) -> Dict[str, object]:
         """A read-only, JSON-safe snapshot of one function's tier state.
@@ -1891,6 +2010,19 @@ class AdaptiveRuntime:
                             entry.failures_at.items(), key=lambda kv: str(kv[0])
                         )
                     },
+                    "guard_obligations": self._guard_obligations(entry),
+                    "soundness_violations": (
+                        [
+                            {
+                                "obligation": violation.name,
+                                "point": violation.point,
+                                "detail": violation.detail,
+                            }
+                            for violation in entry.verify_report.violations
+                        ]
+                        if entry.verify_report is not None
+                        else []
+                    ),
                 }
                 for entry in state.versions
             ]
@@ -1918,6 +2050,8 @@ class AdaptiveRuntime:
                 "tier": "optimized" if state.versions else "base",
                 "calls": state.call_count,
                 "params": list(state.base.params),
+                "verify_deopt": self.verify_deopt,
+                "soundness_violations": state.soundness_violations,
                 "versions": versions,
                 "continuations": continuations,
                 "continuation_capacity": self.config.continuation_cache_size,

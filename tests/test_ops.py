@@ -507,6 +507,59 @@ class TestCli:
             )
             assert result.output.splitlines()[0].startswith("function")
 
+    def test_inspect_guards_reports_obligation_status(self, runner):
+        args = [
+            "inspect",
+            "--workload",
+            "dispatch",
+            "--calls",
+            "8",
+            "--show",
+            "guards",
+            "--format",
+            "json",
+        ]
+        strict = json.loads(
+            _invoke(runner, args + ["--set", "verify_deopt=strict"]).output
+        )
+        assert strict  # the warmed dispatch version has guards
+        assert {row["status"] for row in strict} == {"proved"}
+        assert all(row["obligations"] is None for row in strict)
+        # Without verification the same guards render as unchecked
+        # (pinned explicitly so an ambient REPRO_VERIFY_DEOPT can't
+        # upgrade this invocation).
+        unchecked = json.loads(
+            _invoke(runner, args + ["--set", "verify_deopt=off"]).output
+        )
+        assert {row["status"] for row in unchecked} == {"unchecked"}
+
+    def test_lint_clean_workload_and_store(self, runner, tmp_path):
+        store = str(tmp_path / "store")
+        _invoke(
+            runner,
+            ["run", "--workload", "dispatch", "--calls", "12", "--store", store],
+        )
+        result = _invoke(
+            runner,
+            ["lint", store, "--workload", "dispatch", "--format", "json"],
+        )
+        assert json.loads(result.output) == []
+
+    def test_lint_finding_fails_the_run(self, runner, tmp_path):
+        bad = tmp_path / "bad.mc"
+        bad.write_text("func f(n) { return n +; }")
+        result = runner.invoke(
+            repro_cli, ["lint", str(bad), "--format", "json"]
+        )
+        assert result.exit_code == 1
+        rows = json.loads(result.output)
+        assert rows and rows[0]["rule"] == "frontend"
+
+    def test_lint_requires_a_target(self, runner):
+        result = runner.invoke(repro_cli, ["lint"])
+        assert result.exit_code != 0
+        assert "nothing to lint" in result.output
+
     def test_store_export_import_gc(self, runner, tmp_path):
         store, clone = str(tmp_path / "store"), str(tmp_path / "clone")
         _invoke(
